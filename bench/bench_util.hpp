@@ -1,0 +1,47 @@
+// Shared plumbing for the reproduction benches: scheme construction, common
+// flags, and small formatting helpers.  Each bench binary regenerates one
+// table or figure of the paper (see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/dhalion.hpp"
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "core/dragster_controller.hpp"
+#include "experiments/scenario.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster::bench {
+
+/// The paper's three compared schemes, freshly constructed per run.
+inline std::unique_ptr<core::Controller> make_scheme(const std::string& name,
+                                                     const online::Budget& budget) {
+  if (name == "Dhalion") {
+    baselines::DhalionOptions options;
+    options.budget = budget;
+    return std::make_unique<baselines::DhalionController>(options);
+  }
+  core::DragsterOptions options;
+  options.budget = budget;
+  if (name == "Dragster(ogd)") options.method = core::PrimalMethod::kOnlineGradient;
+  return std::make_unique<core::DragsterController>(options);
+}
+
+inline const std::vector<std::string>& scheme_names() {
+  static const std::vector<std::string> names{"Dhalion", "Dragster(saddle)", "Dragster(ogd)"};
+  return names;
+}
+
+inline std::string fmt_min(const std::optional<double>& minutes) {
+  return minutes ? common::Table::num(*minutes, 0) : "-";
+}
+
+inline void print_header(const char* what, std::uint64_t seed) {
+  std::printf("=== %s (seed %llu) ===\n", what, static_cast<unsigned long long>(seed));
+}
+
+}  // namespace dragster::bench

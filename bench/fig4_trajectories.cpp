@@ -1,0 +1,120 @@
+// Reproduces paper Figure 4: how each scheme walks the WordCount (Map x
+// Shuffle) configuration grid.
+//
+//  (a)(b)(c) — no budget constraint: prints the ground-truth throughput
+//  heatmap over the 10x10 grid plus each scheme's per-slot configuration
+//  trajectory and its convergence slot.  Expected shape: Dhalion walks
+//  linearly (with backward steps near the map's USL peak); Dragster(saddle)
+//  jumps during the first ~4 exploration slots then settles; Dragster(ogd)
+//  moves gradually.
+//
+//  (d)(e)(f) — tight budget ($1.6/h = 16 pods) with the offered load far
+//  above Map's peak capacity: Dhalion greedily feeds Map (topologically
+//  first, insatiably backpressured) until the budget freezes it at (10,6);
+//  both Dragster variants balance Map near its peak and spend the rest on
+//  Shuffle, yielding substantially higher throughput.
+//
+//   ./fig4_trajectories [--slots 16] [--seed 42] [--budget-rate 35000]
+#include <cmath>
+
+#include "baselines/oracle.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace dragster;
+
+void print_heatmap(const streamsim::Engine& engine, const workloads::WorkloadSpec& spec,
+                   double rate) {
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  const baselines::Oracle oracle(engine);
+  std::vector<double> rates(engine.dag().node_count(), 0.0);
+  rates[spec.dag.sources()[0]] = rate;
+
+  std::printf("ground-truth throughput (k tuples/s), rows = map tasks, cols = shuffle tasks\n");
+  std::printf("      ");
+  for (int s = 1; s <= 10; ++s) std::printf("%6d", s);
+  std::printf("\n");
+  for (int m = 1; m <= 10; ++m) {
+    std::printf("map%2d ", m);
+    for (int s = 1; s <= 10; ++s) {
+      const double f = oracle.throughput_of({{map, m}, {shuffle, s}}, rates);
+      std::printf("%6.1f", f / 1000.0);
+    }
+    std::printf("\n");
+  }
+}
+
+void run_case(const workloads::WorkloadSpec& spec, double rate, const online::Budget& budget,
+              std::size_t slots, std::uint64_t seed, const char* label) {
+  std::printf("\n--- %s: WordCount, rate %.0f lines/s, budget %s ---\n", label, rate,
+              budget.limited() ? ("$" + common::Table::num(budget.dollars_per_hour(), 2) + "/h")
+                                     .c_str()
+                               : "none");
+  {
+    streamsim::Engine probe = [&] {
+      std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+      schedules[spec.dag.sources()[0]] = std::make_unique<streamsim::ConstantRate>(rate);
+      return spec.make_engine_with(std::move(schedules), streamsim::EngineOptions{}, seed);
+    }();
+    print_heatmap(probe, spec, rate);
+    const baselines::Oracle oracle(probe);
+    const auto best = oracle.optimal_at(0.0, budget);
+    std::printf("offline optimum: map=%d shuffle=%d -> %.0f tuples/s (%d pods, $%.2f/h)\n\n",
+                best.tasks.at(*spec.dag.find("map")),
+                best.tasks.at(*spec.dag.find("shuffle_count")), best.throughput,
+                best.total_tasks, best.cost_rate);
+  }
+
+  common::Table table({"scheme", "trajectory (map,shuffle) per slot", "converge (min)",
+                       "final tuples/s", "% of optimum"});
+  for (const auto& name : bench::scheme_names()) {
+    std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+    schedules[spec.dag.sources()[0]] = std::make_unique<streamsim::ConstantRate>(rate);
+    streamsim::Engine engine =
+        spec.make_engine_with(std::move(schedules), streamsim::EngineOptions{}, seed);
+    auto controller = bench::make_scheme(name, budget);
+    experiments::ScenarioOptions options;
+    options.slots = slots;
+    options.budget = budget;
+    const auto run = experiments::run_scenario(engine, *controller, options, spec.name);
+
+    std::string trajectory;
+    for (const auto& slot : run.slots) {
+      trajectory += "(" + std::to_string(slot.tasks[0]) + "," + std::to_string(slot.tasks[1]) +
+                    ")";
+    }
+    const auto conv = experiments::convergence_minutes(run.slots, 0, slots, 10.0);
+    const auto& last = run.slots.back();
+    table.add_row({name, trajectory, bench::fmt_min(conv),
+                   common::Table::num(last.effective_rate, 0),
+                   common::Table::num(100.0 * last.effective_rate / last.oracle_throughput, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  const auto slots = static_cast<std::size_t>(flags.get("slots", std::int64_t{16}));
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+  const double budget_rate = flags.get("budget-rate", 35'000.0);
+
+  bench::print_header("Figure 4: configuration-search trajectories on WordCount", seed);
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+
+  // (a)(b)(c): the benchmark's high offered rate, no budget.
+  run_case(spec, spec.high_rate.begin()->second, online::Budget::unlimited(0.10), slots, seed,
+           "Fig 4(a-c)");
+
+  // (d)(e)(f): demand saturates Map; $1.6/h buys 16 pods.
+  run_case(spec, budget_rate, online::Budget(1.6, 0.10), slots + 4, seed, "Fig 4(d-f)");
+
+  std::printf(
+      "\npaper shape: Dhalion converges slowest with backward steps; under the tight\n"
+      "budget it freezes at (10,6) while Dragster finds the unbalanced optimum and\n"
+      "delivers substantially higher throughput (paper reports +64.7%%).\n");
+  return 0;
+}

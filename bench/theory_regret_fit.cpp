@@ -1,0 +1,161 @@
+// Theory validation (Theorems 1 and 2): dynamic regret Reg_T (eq. 10) and
+// dynamic fit Fit_T (eq. 12) must grow sub-linearly in T.
+//
+// Part 1 — horizon sweep on WordCount with known throughput functions:
+//   prints Reg_T, Reg_T/T, Fit_T, Fit_T/T and the theoretical shape
+//   sqrt(T (log T)^{d+2}) for comparison (d = 1 task dimension).  The
+//   averages Reg_T/T and Fit_T/T must visibly decrease with T.
+//
+// Part 2 — the same sweep with learn_throughput enabled (Theorem 2): the
+//   throughput functions start from a wrong unit-selectivity prior and are
+//   fitted online; the regret order must be preserved.
+//
+//   ./theory_regret_fit [--seed 4] [--horizons 10,20,40,80]
+#include <cmath>
+#include <sstream>
+
+#include "baselines/oracle.hpp"
+#include "bench_util.hpp"
+#include "online/meters.hpp"
+
+namespace {
+
+using namespace dragster;
+
+struct SweepPoint {
+  std::size_t horizon;
+  double regret;
+  double fit;
+};
+
+SweepPoint run_horizon(std::size_t horizon, bool learn, std::uint64_t seed) {
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+  core::DragsterOptions options;
+  options.learn_throughput = learn;
+  core::DragsterController controller(options);
+  const auto monitor = engine.monitor();
+  controller.initialize(monitor, engine);
+
+  const baselines::Oracle oracle(engine);
+  const double optimal = oracle.optimal_at(0.0, online::Budget::unlimited(0.10)).throughput;
+
+  online::RegretMeter regret;
+  online::FitMeter fit;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const auto& report = engine.run_slot();
+    controller.on_slot(monitor, engine);
+    regret.record(optimal, std::min(report.throughput_rate, optimal));
+    // Per-slot soft constraints l_i = arrival demand - capacity (eq. 11),
+    // normalized by the optimum so Fit is comparable across workloads.
+    std::vector<double> constraints;
+    for (dag::NodeId id : engine.dag().operators()) {
+      const auto& m = report.per_node[id];
+      if (m.observed_capacity > 0.0)
+        constraints.push_back((m.arrival_demand_rate - m.observed_capacity) / optimal);
+    }
+    fit.record(constraints);
+  }
+  return {horizon, regret.total() / optimal, fit.total_violation()};
+}
+
+void sweep(const std::vector<std::size_t>& horizons, bool learn, std::uint64_t seed) {
+  common::Table table({"T (slots)", "Reg_T (opt-slots)", "Reg_T / T", "Fit_T", "Fit_T / T",
+                       "sqrt(T (log T)^3) ref"});
+  for (std::size_t T : horizons) {
+    const SweepPoint p = run_horizon(T, learn, seed);
+    const double logT = std::log(static_cast<double>(std::max<std::size_t>(T, 2)));
+    table.add_row({std::to_string(T), common::Table::num(p.regret, 2),
+                   common::Table::num(p.regret / static_cast<double>(T), 4),
+                   common::Table::num(p.fit, 3),
+                   common::Table::num(p.fit / static_cast<double>(T), 4),
+                   common::Table::num(std::sqrt(static_cast<double>(T) * logT * logT * logT), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+namespace {
+
+// Assumption 2 sweep: regret under a *drifting* optimum.  The offered load
+// alternates between the high rate and a fraction of it; the faster/deeper
+// the drift (larger V(y*) = accumulated optimum movement), the more regret
+// any online algorithm must pay.
+void drift_sweep(std::uint64_t seed) {
+  common::Table table({"drift (flip period, depth)", "V(y*) proxy (opt units)",
+                       "Reg_T (opt-slots)", "Reg_T / T"});
+  const std::size_t T = 60;
+  struct Case {
+    double period_slots;
+    double depth;  // low rate = (1-depth) * high rate
+    const char* label;
+  };
+  for (const Case& c : {Case{0.0, 0.0, "none (constant load)"},
+                        Case{20.0, 0.3, "slow, shallow (20 slots, -30%)"},
+                        Case{10.0, 0.5, "medium (10 slots, -50%)"},
+                        Case{4.0, 0.5, "fast (4 slots, -50%)"}}) {
+    const workloads::WorkloadSpec spec = workloads::wordcount();
+    std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+    const double high = spec.high_rate.begin()->second;
+    const dag::NodeId src = spec.high_rate.begin()->first;
+    if (c.period_slots == 0.0) {
+      schedules[src] = std::make_unique<streamsim::ConstantRate>(high);
+    } else {
+      schedules[src] = std::make_unique<streamsim::AlternatingRate>(
+          high, (1.0 - c.depth) * high, c.period_slots * 600.0);
+    }
+    streamsim::Engine engine =
+        spec.make_engine_with(std::move(schedules), streamsim::EngineOptions{}, seed);
+    core::DragsterController controller{core::DragsterOptions{}};
+    experiments::ScenarioOptions options;
+    options.slots = T;
+    const auto run = experiments::run_scenario(engine, controller, options, spec.name);
+
+    double regret = 0.0;
+    double v_star = 0.0;
+    double prev_opt = run.slots.front().oracle_throughput;
+    for (const auto& slot : run.slots) {
+      regret += std::max(0.0, slot.oracle_throughput -
+                                  std::min(slot.effective_rate, slot.oracle_throughput)) /
+                run.slots.front().oracle_throughput;
+      v_star += std::abs(slot.oracle_throughput - prev_opt) / prev_opt;
+      prev_opt = slot.oracle_throughput;
+    }
+    table.add_row({c.label, common::Table::num(v_star, 2), common::Table::num(regret, 2),
+                   common::Table::num(regret / static_cast<double>(T), 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Flags flags(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{4}));
+  std::vector<std::size_t> horizons;
+  {
+    std::stringstream ss(flags.get("horizons", std::string("10,20,40,80,160")));
+    std::string tok;
+    while (std::getline(ss, tok, ',')) horizons.push_back(std::stoul(tok));
+  }
+
+  bench::print_header("Theorem 1: sub-linear dynamic regret and fit", seed);
+  std::printf("\nknown throughput functions h (Theorem 1):\n");
+  sweep(horizons, /*learn=*/false, seed);
+
+  std::printf("\nlearned throughput functions, wrong prior (Theorem 2):\n");
+  sweep(horizons, /*learn=*/true, seed);
+
+  std::printf(
+      "\ndrifting optimum (Assumption 2): regret grows with the accumulated optimum\n"
+      "movement V(y*), as the bound's V(y*) term predicts:\n");
+  drift_sweep(seed);
+
+  std::printf(
+      "\nshape to verify: Reg_T/T and Fit_T/T decrease as T grows (sub-linear\n"
+      "accumulation) in both the known-h and learned-h settings, tracking the\n"
+      "O(sqrt(T (log T)^{d+2})) reference up to a constant; regret increases\n"
+      "monotonically with the drift magnitude V(y*).\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Dhalion baseline (Floratou et al., VLDB'17) as described in the paper:
+//
+//   "Dhalion linearly increases the number of tasks for an operator
+//    suffering from the backpressure and removes the idle one if its CPU
+//    utilization is lower than a threshold."
+//   "At each time slot, Dhalion selects one operator to adjust its
+//    configuration."
+//
+// Symptom -> diagnosis -> resolution, one action per slot:
+//   * any backpressured operator  -> +1 task on the first backpressured
+//     operator in topological order (upstream pressure is resolved first,
+//     which is exactly what traps it under a tight budget: the upstream
+//     operator soaks up pods the downstream one needed);
+//   * otherwise, the least-utilized operator below the idle threshold
+//     -> -1 task.
+// Scale-ups that would exceed the budget are skipped (the freeze the paper
+// observes in Fig. 4d).
+#pragma once
+
+#include "core/controller.hpp"
+#include "online/budget.hpp"
+
+namespace dragster::baselines {
+
+struct DhalionOptions {
+  double idle_utilization = 0.50;  ///< below this an operator sheds a task
+  online::Budget budget = online::Budget::unlimited(0.10);
+};
+
+class DhalionController final : public core::Controller {
+ public:
+  explicit DhalionController(DhalionOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "Dhalion"; }
+
+  void on_slot(const streamsim::JobMonitor& monitor,
+               streamsim::ScalingActuator& actuator) override;
+
+ private:
+  DhalionOptions options_;
+};
+
+}  // namespace dragster::baselines

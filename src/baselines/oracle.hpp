@@ -1,0 +1,59 @@
+// Ground-truth oracle: the offline optimal configuration.
+//
+// Uses the simulator's hidden capacity surfaces (which controllers never
+// see) to find the task allocation maximizing steady-state application
+// throughput under a budget.  This defines y*_t for the regret metric and
+// the "within 10% of the optimal throughput" convergence criterion the
+// paper uses.
+//
+// Small joint spaces are searched exhaustively; large ones (Yahoo: 10^6)
+// with greedy marginal-gain construction followed by exhaustive local search
+// (single steps and pairwise transfers), which is exact on all the shipped
+// workloads' surfaces and verified against exhaustion in the tests for
+// every space that can be enumerated.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "online/budget.hpp"
+#include "streamsim/engine.hpp"
+
+namespace dragster::baselines {
+
+struct OracleResult {
+  std::map<dag::NodeId, int> tasks;
+  double throughput = 0.0;   ///< noise-free steady-state tuples/s at the sink
+  int total_tasks = 0;
+  double cost_rate = 0.0;    ///< $/hour of the optimal allocation
+};
+
+class Oracle {
+ public:
+  /// The engine provides the DAG and ground-truth capacities; must outlive
+  /// the oracle.
+  explicit Oracle(const streamsim::Engine& engine);
+
+  /// Optimal allocation for the given node-indexed source rates.
+  [[nodiscard]] OracleResult optimal(std::span<const double> source_rates,
+                                     const online::Budget& budget) const;
+
+  /// Convenience: rates taken from the engine's schedules at time `at_seconds`.
+  [[nodiscard]] OracleResult optimal_at(double at_seconds, const online::Budget& budget) const;
+
+  /// Noise-free steady-state throughput of an arbitrary allocation.
+  [[nodiscard]] double throughput_of(const std::map<dag::NodeId, int>& tasks,
+                                     std::span<const double> source_rates) const;
+
+  /// Search spaces up to this size are enumerated exhaustively.
+  static constexpr double kExhaustiveLimit = 200'000.0;
+
+ private:
+  [[nodiscard]] double evaluate(std::span<const int> tasks,
+                                std::span<const double> source_rates) const;
+
+  const streamsim::Engine& engine_;
+  std::vector<dag::NodeId> ops_;
+};
+
+}  // namespace dragster::baselines

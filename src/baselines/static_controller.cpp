@@ -1,0 +1,19 @@
+#include "baselines/static_controller.hpp"
+
+namespace dragster::baselines {
+
+StaticController::StaticController(std::map<dag::NodeId, int> tasks) : tasks_(std::move(tasks)) {}
+
+void StaticController::initialize(const streamsim::JobMonitor& monitor,
+                                  streamsim::ScalingActuator& actuator) {
+  (void)monitor;
+  for (const auto& [id, tasks] : tasks_) actuator.set_tasks(id, tasks);
+}
+
+void StaticController::on_slot(const streamsim::JobMonitor& monitor,
+                               streamsim::ScalingActuator& actuator) {
+  (void)monitor;
+  (void)actuator;
+}
+
+}  // namespace dragster::baselines

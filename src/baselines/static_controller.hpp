@@ -1,0 +1,28 @@
+// Fixed-allocation baseline: applies one configuration at start-up and never
+// adjusts.  Used by the checkpoint ablation (the "no autoscaling" arm) and
+// as a control in the examples.
+#pragma once
+
+#include <map>
+
+#include "core/controller.hpp"
+
+namespace dragster::baselines {
+
+class StaticController final : public core::Controller {
+ public:
+  /// Empty map = keep the engine's initial configuration.
+  explicit StaticController(std::map<dag::NodeId, int> tasks = {});
+
+  [[nodiscard]] std::string name() const override { return "Static"; }
+
+  void initialize(const streamsim::JobMonitor& monitor,
+                  streamsim::ScalingActuator& actuator) override;
+  void on_slot(const streamsim::JobMonitor& monitor,
+               streamsim::ScalingActuator& actuator) override;
+
+ private:
+  std::map<dag::NodeId, int> tasks_;
+};
+
+}  // namespace dragster::baselines

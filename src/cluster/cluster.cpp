@@ -1,0 +1,70 @@
+#include "cluster/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace dragster::cluster {
+
+Cluster::Cluster(PricingModel pricing) : pricing_(pricing) {}
+
+void Cluster::add_deployment(const std::string& name, int replicas, PodSpec spec) {
+  DRAGSTER_REQUIRE(!deployments_.count(name), "duplicate deployment: " + name);
+  DRAGSTER_REQUIRE(replicas >= 1, "deployment needs at least one replica");
+  deployments_[name] = Deployment{name, replicas, spec};
+}
+
+Deployment& Cluster::deployment_mutable(const std::string& name) {
+  const auto it = deployments_.find(name);
+  DRAGSTER_REQUIRE(it != deployments_.end(), "unknown deployment: " + name);
+  return it->second;
+}
+
+void Cluster::scale_replicas(const std::string& name, int replicas) {
+  DRAGSTER_REQUIRE(replicas >= 1, "deployment needs at least one replica");
+  deployment_mutable(name).replicas = replicas;
+}
+
+void Cluster::resize_pods(const std::string& name, PodSpec spec) {
+  DRAGSTER_REQUIRE(spec.cpu_cores > 0.0 && spec.memory_gb > 0.0, "pod spec must be positive");
+  deployment_mutable(name).spec = spec;
+}
+
+const Deployment& Cluster::deployment(const std::string& name) const {
+  const auto it = deployments_.find(name);
+  DRAGSTER_REQUIRE(it != deployments_.end(), "unknown deployment: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Cluster::deployment_names() const {
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, d] : deployments_) {
+    (void)d;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int Cluster::total_pods() const noexcept {
+  int total = 0;
+  for (const auto& [name, d] : deployments_) {
+    (void)name;
+    total += d.replicas;
+  }
+  return total;
+}
+
+double Cluster::cost_rate_per_hour() const noexcept {
+  double rate = 0.0;
+  for (const auto& [name, d] : deployments_) {
+    (void)name;
+    rate += static_cast<double>(d.replicas) * pricing_.pod_price_per_hour(d.spec);
+  }
+  return rate;
+}
+
+void Cluster::accrue(double seconds) {
+  DRAGSTER_REQUIRE(seconds >= 0.0, "cannot accrue negative time");
+  accrued_cost_ += cost_rate_per_hour() * seconds / 3600.0;
+}
+
+}  // namespace dragster::cluster

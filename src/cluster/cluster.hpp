@@ -1,0 +1,62 @@
+// Kubernetes-analogue pod ledger.
+//
+// Each stream operator maps to a "deployment" of TaskManager pods (one task
+// slot per pod).  The ledger applies horizontal (replica count) and vertical
+// (pod spec) scaling actions, enforces an optional hard cap on spend rate,
+// and accrues cost over simulated time — the substrate for the paper's
+// cost-per-billion-tuples numbers.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/pricing.hpp"
+
+namespace dragster::cluster {
+
+struct Deployment {
+  std::string name;
+  int replicas = 1;
+  PodSpec spec;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(PricingModel pricing = PricingModel::standard());
+
+  /// Registers a deployment (one per operator).  Names must be unique.
+  void add_deployment(const std::string& name, int replicas, PodSpec spec = {});
+
+  /// Horizontal scaling (HPA analogue).  Replicas must be >= 1.
+  void scale_replicas(const std::string& name, int replicas);
+
+  /// Vertical scaling (VPA analogue).
+  void resize_pods(const std::string& name, PodSpec spec);
+
+  [[nodiscard]] const Deployment& deployment(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> deployment_names() const;
+
+  [[nodiscard]] int total_pods() const noexcept;
+
+  /// Current spend rate in $/hour across all deployments.
+  [[nodiscard]] double cost_rate_per_hour() const noexcept;
+
+  /// Accrues `seconds` of wall-clock at the current spend rate.
+  void accrue(double seconds);
+
+  [[nodiscard]] double accrued_cost() const noexcept { return accrued_cost_; }
+  [[nodiscard]] const PricingModel& pricing() const noexcept { return pricing_; }
+
+  void reset_cost() noexcept { accrued_cost_ = 0.0; }
+
+ private:
+  Deployment& deployment_mutable(const std::string& name);
+
+  PricingModel pricing_;
+  std::map<std::string, Deployment> deployments_;
+  double accrued_cost_ = 0.0;
+};
+
+}  // namespace dragster::cluster

@@ -1,0 +1,36 @@
+#include "cluster/metrics_server.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dragster::cluster {
+
+MetricsServer::MetricsServer(std::size_t window) : window_(window) {
+  DRAGSTER_REQUIRE(window_ > 0, "window must be positive");
+}
+
+void MetricsServer::record_cpu(const std::string& deployment, double utilization) {
+  DRAGSTER_REQUIRE(utilization >= 0.0, "utilization cannot be negative");
+  auto& queue = samples_[deployment];
+  queue.push_back(std::min(utilization, 1.0));
+  while (queue.size() > window_) queue.pop_front();
+}
+
+double MetricsServer::cpu_utilization(const std::string& deployment, double fallback) const {
+  const auto it = samples_.find(deployment);
+  if (it == samples_.end() || it->second.empty()) return fallback;
+  double sum = 0.0;
+  for (double value : it->second) sum += value;
+  return sum / static_cast<double>(it->second.size());
+}
+
+double MetricsServer::latest_cpu(const std::string& deployment, double fallback) const {
+  const auto it = samples_.find(deployment);
+  if (it == samples_.end() || it->second.empty()) return fallback;
+  return it->second.back();
+}
+
+void MetricsServer::clear() { samples_.clear(); }
+
+}  // namespace dragster::cluster

@@ -1,0 +1,37 @@
+// Kubernetes Metrics Server facade.
+//
+// The paper's Job Monitor reads per-pod CPU utilization from the Metrics
+// Server; here the simulator publishes utilization samples and controllers
+// read a windowed average, mirroring metrics-server's scrape-and-aggregate
+// behaviour (instantaneous samples are noisy; the window smooths them).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+
+namespace dragster::cluster {
+
+class MetricsServer {
+ public:
+  /// `window` is the number of most recent samples kept per deployment.
+  explicit MetricsServer(std::size_t window = 30);
+
+  /// Publishes one utilization sample in [0, 1] for a deployment.
+  void record_cpu(const std::string& deployment, double utilization);
+
+  /// Windowed average utilization; returns `fallback` with no samples.
+  [[nodiscard]] double cpu_utilization(const std::string& deployment,
+                                       double fallback = 0.0) const;
+
+  /// Most recent sample (the "current" reading); `fallback` if none.
+  [[nodiscard]] double latest_cpu(const std::string& deployment, double fallback = 0.0) const;
+
+  void clear();
+
+ private:
+  std::size_t window_;
+  std::map<std::string, std::deque<double>> samples_;
+};
+
+}  // namespace dragster::cluster

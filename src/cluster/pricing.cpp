@@ -1,0 +1,22 @@
+#include "cluster/pricing.hpp"
+
+#include "common/error.hpp"
+
+namespace dragster::cluster {
+
+PricingModel::PricingModel(double cpu_price_per_hour, double memory_price_per_hour)
+    : cpu_price_(cpu_price_per_hour), memory_price_(memory_price_per_hour) {
+  DRAGSTER_REQUIRE(cpu_price_ >= 0.0 && memory_price_ >= 0.0, "prices must be non-negative");
+  DRAGSTER_REQUIRE(cpu_price_ + memory_price_ > 0.0, "pricing model cannot be all-zero");
+}
+
+PricingModel PricingModel::standard() {
+  // 1 CPU * 0.06 + 2 GB * 0.02 = $0.10 per slot-hour.
+  return PricingModel(0.06, 0.02);
+}
+
+double PricingModel::pod_price_per_hour(const PodSpec& spec) const noexcept {
+  return cpu_price_ * spec.cpu_cores + memory_price_ * spec.memory_gb;
+}
+
+}  // namespace dragster::cluster

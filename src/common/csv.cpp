@@ -1,0 +1,44 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dragster::common {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision);
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double value : cells) {
+    oss.str("");
+    oss << value;
+    text.push_back(oss.str());
+  }
+  write_row(text);
+}
+
+}  // namespace dragster::common

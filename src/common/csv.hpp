@@ -1,0 +1,34 @@
+// CSV emission for figure series.
+//
+// Bench binaries that reproduce *figures* write their series as CSV (to a
+// file or stdout) so they can be re-plotted; cells containing separators or
+// quotes are quoted per RFC 4180.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dragster::common {
+
+class CsvWriter {
+ public:
+  /// Writes to the given stream (not owned; must outlive the writer).
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void write_row(const std::vector<double>& cells, int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// RFC-4180 quoting of a single cell.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dragster::common

@@ -1,0 +1,27 @@
+// Error-handling helpers shared across the library.
+//
+// DRAGSTER_REQUIRE is used for precondition checks on public API boundaries;
+// violations throw std::invalid_argument with file/line context so callers
+// (and tests) can assert on misuse without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dragster {
+
+[[noreturn]] inline void raise_requirement_failure(const char* expr, const char* file, int line,
+                                                   const std::string& message) {
+  std::ostringstream oss;
+  oss << file << ':' << line << ": requirement failed: " << expr;
+  if (!message.empty()) oss << " (" << message << ')';
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace dragster
+
+#define DRAGSTER_REQUIRE(expr, msg)                                              \
+  do {                                                                           \
+    if (!(expr)) ::dragster::raise_requirement_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser used by bench and example binaries.
+//
+// Supports `--name=value`, `--name value` and boolean `--name`.  Unknown
+// flags are collected so binaries can warn instead of silently ignoring
+// typos.  Deliberately dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dragster::common {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] double get(const std::string& name, double fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] bool get(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Names seen on the command line but never queried via get()/has().
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dragster::common

@@ -1,0 +1,42 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dragster::common {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> values, double q) {
+  DRAGSTER_REQUIRE(!values.empty(), "percentile of empty span");
+  DRAGSTER_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must lie in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - frac) + sorted[lower + 1] * frac;
+}
+
+}  // namespace dragster::common

@@ -1,0 +1,50 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dragster::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DRAGSTER_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DRAGSTER_REQUIRE(cells.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << value;
+  return oss.str();
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream oss;
+    oss << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      oss << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    oss << '\n';
+    return oss.str();
+  };
+
+  std::ostringstream out;
+  out << render_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) out << render_row(row);
+  return out.str();
+}
+
+}  // namespace dragster::common

@@ -1,0 +1,34 @@
+// ASCII table formatting for bench output.
+//
+// The bench binaries reproduce the paper's tables; TablePrinter renders
+// aligned, pipe-separated rows so the reproduction can be diffed against the
+// paper's values by eye or by script.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dragster::common {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the table with aligned columns and a header separator.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dragster::common

@@ -1,0 +1,33 @@
+// Common interface for resource controllers (Dragster and baselines).
+//
+// A controller observes the application through the JobMonitor after each
+// slot and issues scaling actions for the *next* slot through the
+// ScalingActuator — the same cadence as the paper's 10-minute adjustment
+// loop (Algorithm 1).
+#pragma once
+
+#include <string>
+
+#include "streamsim/engine.hpp"
+
+namespace dragster::core {
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the first slot; may set the initial configuration.
+  virtual void initialize(const streamsim::JobMonitor& monitor,
+                          streamsim::ScalingActuator& actuator) {
+    (void)monitor;
+    (void)actuator;
+  }
+
+  /// Called after every completed slot with fresh metrics.
+  virtual void on_slot(const streamsim::JobMonitor& monitor,
+                       streamsim::ScalingActuator& actuator) = 0;
+};
+
+}  // namespace dragster::core

@@ -1,0 +1,290 @@
+#include "core/dragster_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/pricing.hpp"
+#include "common/error.hpp"
+
+namespace dragster::core {
+
+DragsterController::DragsterController(DragsterOptions options) : options_(options) {
+  DRAGSTER_REQUIRE(options_.delta > 1.0, "paper requires delta > 1");
+  DRAGSTER_REQUIRE(options_.gamma0 > 0.0, "gamma0 must be positive");
+  DRAGSTER_REQUIRE(options_.bottleneck_tolerance > 0.0, "tolerance must be positive");
+}
+
+std::string DragsterController::name() const {
+  return options_.method == PrimalMethod::kSaddlePoint ? "Dragster(saddle)" : "Dragster(ogd)";
+}
+
+void DragsterController::initialize(const streamsim::JobMonitor& monitor,
+                                    streamsim::ScalingActuator& actuator) {
+  (void)actuator;  // the paper launches with the given x_i(1); we keep it
+  dag_ = std::make_unique<dag::StreamDag>(monitor.dag());
+  flow_ = std::make_unique<dag::FlowSolver>(*dag_);
+  dual_ = std::make_unique<online::DualState>(dag_->node_count(), options_.gamma0);
+  if (options_.learn_throughput) {
+    learner_ = std::make_unique<ThroughputLearner>(*dag_);
+    // Start from a deliberately wrong prior: unit selectivity everywhere.
+    for (std::size_t e = 0; e < dag_->edge_count(); ++e) {
+      auto params = dag_->edge_mutable(e).fn->params();
+      if (dag_->component(dag_->edge(e).from).kind == dag::ComponentKind::kSource) continue;
+      for (double& p : params) p = 1.0;
+    }
+  }
+  const std::size_t n = dag_->node_count();
+  y_est_.assign(n, 0.0);
+  y_target_.assign(n, 0.0);
+  demand_est_.assign(n, 0.0);
+  slot_ = 0;
+}
+
+const std::vector<double>& DragsterController::lambda() const {
+  DRAGSTER_REQUIRE(dual_ != nullptr, "controller not initialized");
+  return dual_->lambda();
+}
+
+const gp::GaussianProcess* DragsterController::gp_for(dag::NodeId op) const {
+  const auto it = models_.find(op);
+  if (it == models_.end() || !it->second.gp.has_value()) return nullptr;
+  return &*it->second.gp;
+}
+
+void DragsterController::observe(const streamsim::JobMonitor& monitor) {
+  const streamsim::SlotReport& report = monitor.last_report();
+  const std::size_t n = dag_->node_count();
+
+  for (dag::NodeId id = 0; id < n; ++id) {
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    const streamsim::OperatorMetrics& m = report.per_node[id];
+    OperatorModel& model = models_[id];
+
+    // GP input: (tasks) for horizontal-only, (tasks, cpu) with VPA enabled.
+    std::vector<double> deployed{static_cast<double>(m.tasks)};
+    if (options_.enable_vertical) deployed.push_back(monitor.pod_spec(id).cpu_cores);
+
+    if (m.observed_capacity > 0.0) {
+      if (!model.gp.has_value()) {
+        // First estimate fixes the normalization scale and the GP prior.
+        model.scale = m.observed_capacity;
+        std::vector<double> lengthscales{options_.gp_lengthscale};
+        if (options_.enable_vertical) lengthscales.push_back(0.75);  // cores
+        const double signal = options_.gp_signal_std * options_.gp_signal_std;
+        std::unique_ptr<gp::Kernel> kernel;
+        if (options_.use_matern_kernel)
+          kernel = std::make_unique<gp::Matern52Kernel>(signal, std::move(lengthscales));
+        else
+          kernel = std::make_unique<gp::SquaredExponentialKernel>(signal,
+                                                                  std::move(lengthscales));
+        model.gp.emplace(std::move(kernel),
+                         options_.gp_noise_rel * options_.gp_noise_rel, /*prior_mean=*/1.0);
+      }
+      model.gp->add_observation(deployed, m.observed_capacity / model.scale);
+    }
+
+    // Capacity estimate: GP posterior at the deployed configuration
+    // (smoother than the raw per-slot sample), else the raw sample.
+    if (model.gp.has_value()) {
+      y_est_[id] = model.gp->predict(deployed).mean * model.scale;
+    } else if (m.observed_capacity > 0.0) {
+      y_est_[id] = m.observed_capacity;
+    } else {
+      y_est_[id] = std::max(y_est_[id], 1.0);
+    }
+  }
+
+  // Theorem 2 mode: refine the throughput-function parameters from the
+  // observed per-edge flows (excluding capacity-truncated operators).
+  if (learner_) {
+    // span<const bool> cannot view std::vector<bool>; use a plain buffer.
+    std::unique_ptr<bool[]> saturated(new bool[n]());
+    for (dag::NodeId id = 0; id < n; ++id) {
+      if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+      saturated[id] = report.per_node[id].backpressured;
+    }
+    learner_->observe(*dag_, report.edge_rate, std::span<const bool>(saturated.get(), n));
+    learner_->apply(*dag_);
+  }
+
+  // Demand estimate per operator: known h applied to the observed received
+  // rates, plus buffered backlog that must drain (the long-term constraint's
+  // purpose).
+  for (dag::NodeId id = 0; id < n; ++id) {
+    demand_est_[id] = 0.0;
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    const auto& ins = dag_->in_edges(id);
+    std::vector<double> inputs(ins.size());
+    for (std::size_t k = 0; k < ins.size(); ++k) inputs[k] = report.edge_rate[ins[k]];
+    for (std::size_t eidx : dag_->out_edges(id))
+      demand_est_[id] += dag_->edge(eidx).fn->eval(inputs);
+    if (options_.include_backlog_in_demand)
+      demand_est_[id] += report.per_node[id].backlog_end / report.duration_s;
+  }
+}
+
+std::vector<double> DragsterController::compute_targets(const streamsim::JobMonitor& monitor) {
+  const streamsim::SlotReport& report = monitor.last_report();
+  const std::size_t n = dag_->node_count();
+
+  // Dual update with the observed soft-constraint values (eq. 11/15),
+  // normalized per operator so lambda stays dimensionless and commensurate
+  // with the gradient of f (otherwise gamma would need units of
+  // 1/capacity and the Lagrangian term would dwarf the objective).
+  std::vector<double> constraints(n, 0.0);
+  for (dag::NodeId id = 0; id < n; ++id) {
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    const double op_scale = std::max({y_est_[id], demand_est_[id], 1.0});
+    constraints[id] = (demand_est_[id] - y_est_[id]) / op_scale;
+  }
+  dual_->update(constraints);
+
+  // Planning source rates: what we observed last slot.  Backlogged tuples
+  // enter through the constraint, not the rates.
+  std::vector<double> rates(n, 0.0);
+  for (dag::NodeId id : dag_->sources()) rates[id] = report.source_rate[id];
+
+  double scale = 1000.0;
+  for (dag::NodeId id = 0; id < n; ++id)
+    scale = std::max({scale, y_est_[id], demand_est_[id]});
+
+  // The constraint uses last slot's observed demand (plus backlog to drain,
+  // already folded into demand_est_) as a constant — paper eq. (11).
+  if (options_.method == PrimalMethod::kSaddlePoint) {
+    online::SaddlePointOptions sp;
+    sp.y_min = 0.0;
+    sp.y_max = 3.0 * scale;
+    online::SaddlePointSolver solver(sp);
+    return solver.solve(*flow_, rates, dual_->lambda(), y_est_, demand_est_);
+  }
+
+  online::OgdOptions og;
+  og.eta = options_.eta_relative * scale;
+  og.y_min = 0.0;
+  og.y_max = 3.0 * scale;
+  // OGD sees the constraint only through the per-step gradient, so its
+  // scale-down pressure is eta*epsilon per slot; a larger epsilon (and a
+  // floor above it) keeps de-provisioning at a useful pace while staying
+  // below the O(1) gradient of f.
+  og.capacity_regularization = options_.ogd_regularization;
+  online::OgdSolver solver(og);
+  std::vector<double> floored = dual_->lambda();
+  // Per-operator steps: capacities differ by orders of magnitude across the
+  // DAG (e.g. deserializer vs windowed counter), so each operator moves
+  // relative to its own scale.
+  std::vector<double> etas(n, og.eta);
+  for (dag::NodeId id = 0; id < n; ++id) {
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    floored[id] = std::max(floored[id], options_.ogd_lambda_floor);
+    etas[id] = options_.eta_relative * std::max({y_est_[id], demand_est_[id], 10.0});
+  }
+  // OGD is stateful: step from the previous target (first slot: estimate).
+  std::vector<double> y_prev = y_target_;
+  bool have_prev = false;
+  for (double v : y_prev)
+    if (v > 0.0) have_prev = true;
+  if (!have_prev) y_prev = y_est_;
+  return solver.step(*flow_, rates, floored, y_prev, demand_est_, etas);
+}
+
+void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
+                                        streamsim::ScalingActuator& actuator) {
+  const std::size_t n = dag_->node_count();
+  const int max_tasks = monitor.max_tasks();
+
+  bottlenecks_.clear();
+  for (dag::NodeId id = 0; id < n; ++id) {
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    const double gap = std::abs(y_target_[id] - y_est_[id]);
+    if (gap > options_.bottleneck_tolerance * std::max(y_est_[id], 1.0))
+      bottlenecks_.push_back(id);
+  }
+
+  // |X| in beta_t is the size of the joint search space (paper Sec. 6.5:
+  // one million candidates for six operators).
+  const std::size_t num_ops = dag_->operators().size();
+  double joint_candidates = 1.0;
+  for (std::size_t i = 0; i < num_ops; ++i) joint_candidates *= static_cast<double>(max_tasks);
+  const auto beta_candidates =
+      static_cast<std::size_t>(std::min(joint_candidates, 1e12));
+  const double beta =
+      options_.beta_scale * gp::ucb_beta(beta_candidates, slot_, options_.delta);
+
+  // Current planned allocation and spend (for budget feasibility; with
+  // heterogeneous pods the budget is enforced in dollars, not pod counts).
+  const cluster::PricingModel pricing = cluster::PricingModel::standard();
+  std::map<dag::NodeId, int> planned;
+  std::map<dag::NodeId, cluster::PodSpec> planned_spec;
+  double planned_cost = 0.0;
+  for (dag::NodeId id : dag_->operators()) {
+    planned[id] = monitor.tasks(id);
+    planned_spec[id] = monitor.pod_spec(id);
+    planned_cost += planned[id] * pricing.pod_price_per_hour(planned_spec[id]);
+  }
+
+  std::vector<double> cpu_options{0.0};  // sentinel: keep the current spec
+  if (options_.enable_vertical) cpu_options = options_.cpu_candidates;
+
+  for (dag::NodeId id : dag_->topo_order()) {
+    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+    if (std::find(bottlenecks_.begin(), bottlenecks_.end(), id) == bottlenecks_.end()) continue;
+    OperatorModel& model = models_[id];
+    if (!model.gp.has_value()) continue;  // nothing observed yet
+
+    const double target = y_target_[id] * options_.target_headroom / model.scale;
+
+    const double own_cost = planned[id] * pricing.pod_price_per_hour(planned_spec[id]);
+    const double others_cost = planned_cost - own_cost;
+
+    int new_tasks = planned[id];
+    cluster::PodSpec new_spec = planned_spec[id];
+    double best_score = -std::numeric_limits<double>::infinity();
+    bool any_feasible = false;
+    for (double cpu : cpu_options) {
+      const cluster::PodSpec spec =
+          options_.enable_vertical
+              ? cluster::PodSpec{cpu, cpu * options_.memory_per_core_gb}
+              : planned_spec[id];
+      const double pod_price = pricing.pod_price_per_hour(spec);
+      for (int tasks = 1; tasks <= max_tasks; ++tasks) {
+        if (options_.budget.limited() &&
+            others_cost + tasks * pod_price > options_.budget.dollars_per_hour() + 1e-9)
+          continue;
+        any_feasible = true;
+        std::vector<double> x{static_cast<double>(tasks)};
+        if (options_.enable_vertical) x.push_back(spec.cpu_cores);
+        const gp::Posterior post = model.gp->predict(x);
+        // Asymmetric extended UCB (eq. 18 + one-sided constraint weighting).
+        const double gap = post.mean - target;
+        const double penalty =
+            gap < 0.0 ? options_.under_provision_penalty * -gap : gap;
+        const double score = -penalty + beta * post.variance;
+        if (score > best_score) {
+          best_score = score;
+          new_tasks = tasks;
+          new_spec = spec;
+        }
+      }
+    }
+    if (!any_feasible) continue;  // budget leaves no room
+    if (new_tasks != planned[id] || !(new_spec == planned_spec[id])) {
+      if (!(new_spec == planned_spec[id])) actuator.set_pod_spec(id, new_spec);
+      if (new_tasks != planned[id]) actuator.set_tasks(id, new_tasks);
+      planned_cost += new_tasks * pricing.pod_price_per_hour(new_spec) - own_cost;
+      planned[id] = new_tasks;
+      planned_spec[id] = new_spec;
+    }
+  }
+}
+
+void DragsterController::on_slot(const streamsim::JobMonitor& monitor,
+                                 streamsim::ScalingActuator& actuator) {
+  DRAGSTER_REQUIRE(dag_ != nullptr, "initialize() must run before on_slot()");
+  ++slot_;
+  observe(monitor);
+  y_target_ = compute_targets(monitor);
+  select_configs(monitor, actuator);
+}
+
+}  // namespace dragster::core

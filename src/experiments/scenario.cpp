@@ -1,0 +1,141 @@
+#include "experiments/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dragster::experiments {
+
+RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
+                       const ScenarioOptions& options, const std::string& workload_name) {
+  RunResult result;
+  result.controller = controller.name();
+  result.workload = workload_name;
+
+  const streamsim::JobMonitor monitor = engine.monitor();
+  controller.initialize(monitor, engine);
+
+  const baselines::Oracle oracle(engine);
+  const auto& dag = engine.dag();
+  const auto operators = dag.operators();
+
+  // Oracle cache keyed by the (rounded) offered-rate vector.
+  std::map<std::vector<long long>, double> oracle_cache;
+  auto oracle_for = [&](double at_seconds) {
+    std::vector<long long> key;
+    key.reserve(dag.sources().size());
+    for (dag::NodeId id : dag.sources())
+      key.push_back(static_cast<long long>(std::llround(engine.offered_rate(id, at_seconds))));
+    const auto it = oracle_cache.find(key);
+    if (it != oracle_cache.end()) return it->second;
+    const double value = oracle.optimal_at(at_seconds, options.budget).throughput;
+    oracle_cache.emplace(std::move(key), value);
+    return value;
+  };
+
+  for (std::size_t t = 0; t < options.slots; ++t) {
+    const streamsim::SlotReport& report = engine.run_slot();
+    controller.on_slot(monitor, engine);
+
+    SlotSummary summary;
+    summary.slot = t;
+    summary.start_seconds = report.start_seconds;
+    summary.throughput_rate = report.throughput_rate;
+    summary.effective_rate =
+        report.tuples_processed / std::max(1.0, report.duration_s - report.pause_s);
+    summary.tuples = report.tuples_processed;
+    summary.cost = report.cost;
+    summary.cost_rate = report.cost_rate_per_hour;
+    summary.pause_s = report.pause_s;
+    summary.latency_s = report.latency_estimate_s;
+    summary.tasks.reserve(operators.size());
+    for (dag::NodeId id : operators) summary.tasks.push_back(report.per_node[id].tasks);
+    // Score against the optimum for the load in force at mid-slot (robust to
+    // a rate flip at the slot boundary).
+    summary.oracle_throughput = oracle_for(report.start_seconds + 0.5 * report.duration_s);
+    summary.near_optimal =
+        summary.effective_rate >= options.near_optimal_threshold * summary.oracle_throughput;
+
+    result.total_tuples += summary.tuples;
+    result.total_cost += summary.cost;
+    result.slots.push_back(std::move(summary));
+    result.series.insert(result.series.end(), report.throughput_series.begin(),
+                         report.throughput_series.end());
+  }
+  return result;
+}
+
+std::optional<std::size_t> convergence_slot(std::span<const SlotSummary> slots, std::size_t from,
+                                            std::size_t to, std::size_t persistence) {
+  to = std::min(to, slots.size());
+  DRAGSTER_REQUIRE(from <= to, "empty convergence window");
+  DRAGSTER_REQUIRE(persistence >= 1, "persistence must be at least one slot");
+  for (std::size_t k = from; k < to; ++k) {
+    if (!slots[k].near_optimal) continue;
+    // Persistence: the next `persistence` slots (clipped to the window) must
+    // all be near-optimal.
+    const std::size_t run_end = std::min(k + persistence, to);
+    bool run_ok = true;
+    for (std::size_t i = k; i < run_end; ++i) run_ok = run_ok && slots[i].near_optimal;
+    if (!run_ok) continue;
+    // Stability: most of the remaining window must also be near-optimal.
+    std::size_t good = 0;
+    for (std::size_t i = k; i < to; ++i)
+      if (slots[i].near_optimal) ++good;
+    if (static_cast<double>(good) >= 0.75 * static_cast<double>(to - k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<double> convergence_minutes(std::span<const SlotSummary> slots, std::size_t from,
+                                          std::size_t to, double slot_minutes) {
+  const auto slot = convergence_slot(slots, from, to);
+  if (!slot) return std::nullopt;
+  return (static_cast<double>(*slot - from) + 1.0) * slot_minutes;
+}
+
+PhaseStats analyze_phase(const RunResult& run, std::size_t from, std::size_t to,
+                         double slot_minutes) {
+  PhaseStats stats;
+  to = std::min(to, run.slots.size());
+  stats.convergence_min = convergence_minutes(run.slots, from, to, slot_minutes);
+  double seconds = 0.0;
+  for (std::size_t i = from; i < to; ++i) {
+    stats.tuples += run.slots[i].tuples;
+    stats.cost += run.slots[i].cost;
+    seconds += slot_minutes * 60.0;
+  }
+  stats.cost_per_billion = stats.tuples > 0.0 ? stats.cost / (stats.tuples / 1e9) : 0.0;
+  stats.avg_rate = seconds > 0.0 ? stats.tuples / seconds : 0.0;
+  return stats;
+}
+
+std::vector<RunResult> run_parallel(std::vector<std::function<RunResult()>> jobs) {
+  std::vector<RunResult> results(jobs.size());
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min<std::size_t>(std::thread::hardware_concurrency(),
+                                                     jobs.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= jobs.size()) return;
+          results[i] = jobs[i]();
+        }
+      });
+    }
+  }
+  return results;
+}
+
+}  // namespace dragster::experiments

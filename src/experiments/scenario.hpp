@@ -1,0 +1,90 @@
+// Shared experiment harness: runs a controller against a simulated
+// application, scores every slot against the oracle, and provides the
+// convergence / tuple / cost analytics the paper's tables and figures
+// report.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/oracle.hpp"
+#include "core/controller.hpp"
+#include "online/budget.hpp"
+#include "streamsim/engine.hpp"
+
+namespace dragster::experiments {
+
+struct SlotSummary {
+  std::size_t slot = 0;
+  double start_seconds = 0.0;
+  double throughput_rate = 0.0;   ///< tuples / full slot duration
+  double effective_rate = 0.0;    ///< tuples / processing time (pause excluded)
+  double tuples = 0.0;
+  double cost = 0.0;
+  double cost_rate = 0.0;
+  double pause_s = 0.0;
+  double latency_s = 0.0;         ///< end-to-end queueing-latency estimate
+  std::vector<int> tasks;         ///< per operator, in dag.operators() order
+  double oracle_throughput = 0.0; ///< offline optimum for this slot's load
+  bool near_optimal = false;      ///< effective_rate >= threshold * oracle
+};
+
+struct RunResult {
+  std::string controller;
+  std::string workload;
+  std::vector<SlotSummary> slots;
+  /// Concatenated (time_s, tuples/s) samples across all slots (Fig. 6/7).
+  std::vector<std::pair<double, double>> series;
+  double total_tuples = 0.0;
+  double total_cost = 0.0;
+};
+
+struct ScenarioOptions {
+  std::size_t slots = 30;
+  online::Budget budget = online::Budget::unlimited(0.10);
+  double near_optimal_threshold = 0.90;  ///< the paper's "within 10%"
+};
+
+/// Runs `controller` on `engine` for the configured number of slots.
+/// The oracle is re-evaluated whenever the offered load changes (cached per
+/// distinct rate vector).
+[[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
+                                     const ScenarioOptions& options,
+                                     const std::string& workload_name = "");
+
+/// First slot index in [from, to) that starts `persistence` consecutive
+/// near-optimal slots AND from which at least 75% of the window's remaining
+/// slots are near-optimal (so a transient backlog-drain spike on a stuck
+/// configuration does not count as convergence); nullopt if never reached.
+[[nodiscard]] std::optional<std::size_t> convergence_slot(std::span<const SlotSummary> slots,
+                                                          std::size_t from, std::size_t to,
+                                                          std::size_t persistence = 3);
+
+/// Convergence time in minutes from the start of the window (counting the
+/// converged slot itself), or nullopt.
+[[nodiscard]] std::optional<double> convergence_minutes(std::span<const SlotSummary> slots,
+                                                        std::size_t from, std::size_t to,
+                                                        double slot_minutes);
+
+struct PhaseStats {
+  std::optional<double> convergence_min;
+  double tuples = 0.0;
+  double cost = 0.0;
+  double cost_per_billion = 0.0;  ///< $ per 1e9 processed tuples
+  double avg_rate = 0.0;
+};
+
+/// Aggregates one [from, to) window of a run — a row of the paper's Table 2.
+[[nodiscard]] PhaseStats analyze_phase(const RunResult& run, std::size_t from, std::size_t to,
+                                       double slot_minutes);
+
+/// Runs independent scenarios concurrently (one thread per hardware core)
+/// and returns results in input order.  Each job must be self-contained.
+[[nodiscard]] std::vector<RunResult> run_parallel(
+    std::vector<std::function<RunResult()>> jobs);
+
+}  // namespace dragster::experiments

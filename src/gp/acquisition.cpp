@@ -1,0 +1,69 @@
+#include "gp/acquisition.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dragster::gp {
+namespace {
+
+template <typename Score>
+std::optional<AcquisitionResult> select_impl(const GaussianProcess& gp,
+                                             std::span<const Candidate> candidates,
+                                             const Feasible& feasible, Score&& score_fn) {
+  std::optional<AcquisitionResult> best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (feasible && !feasible(candidates[i])) continue;
+    const Posterior post = gp.predict(candidates[i]);
+    const double score = score_fn(post);
+    if (!best || score > best->score) best = AcquisitionResult{i, score, post};
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<AcquisitionResult> select_ucb(const GaussianProcess& gp,
+                                            std::span<const Candidate> candidates, double beta,
+                                            const Feasible& feasible) {
+  DRAGSTER_REQUIRE(beta >= 0.0, "beta must be non-negative");
+  return select_impl(gp, candidates, feasible,
+                     [beta](const Posterior& p) { return p.mean + beta * p.variance; });
+}
+
+std::optional<AcquisitionResult> select_target_tracking_ucb(const GaussianProcess& gp,
+                                                            std::span<const Candidate> candidates,
+                                                            double target, double beta,
+                                                            const Feasible& feasible) {
+  DRAGSTER_REQUIRE(beta >= 0.0, "beta must be non-negative");
+  return select_impl(gp, candidates, feasible, [beta, target](const Posterior& p) {
+    return -std::abs(p.mean - target) + beta * p.variance;
+  });
+}
+
+std::vector<Candidate> integer_grid(std::size_t dims, int lo, int hi) {
+  DRAGSTER_REQUIRE(dims > 0, "grid needs at least one dimension");
+  DRAGSTER_REQUIRE(hi >= lo, "grid range is empty");
+  const std::size_t span = static_cast<std::size_t>(hi - lo) + 1;
+  std::vector<Candidate> grid;
+  std::size_t total = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    DRAGSTER_REQUIRE(total <= 10'000'000 / span, "grid too large to enumerate");
+    total *= span;
+  }
+  grid.reserve(total);
+  Candidate current(dims, static_cast<double>(lo));
+  for (std::size_t n = 0; n < total; ++n) {
+    grid.push_back(current);
+    for (std::size_t d = 0; d < dims; ++d) {
+      if (current[d] < static_cast<double>(hi)) {
+        current[d] += 1.0;
+        break;
+      }
+      current[d] = static_cast<double>(lo);
+    }
+  }
+  return grid;
+}
+
+}  // namespace dragster::gp

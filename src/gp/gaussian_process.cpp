@@ -1,0 +1,109 @@
+#include "gp/gaussian_process.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dragster::gp {
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel, double noise_variance,
+                                 double prior_mean)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance), prior_mean_(prior_mean) {
+  DRAGSTER_REQUIRE(kernel_ != nullptr, "GaussianProcess requires a kernel");
+  DRAGSTER_REQUIRE(noise_variance_ > 0.0, "noise variance must be positive");
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      noise_variance_(other.noise_variance_),
+      prior_mean_(other.prior_mean_),
+      inputs_(other.inputs_),
+      targets_(other.targets_),
+      chol_(other.chol_ ? std::make_unique<linalg::Cholesky>(*other.chol_) : nullptr),
+      alpha_(other.alpha_) {}
+
+GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
+  if (this == &other) return *this;
+  GaussianProcess copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void GaussianProcess::add_observation(std::vector<double> x, double y) {
+  DRAGSTER_REQUIRE(x.size() == kernel_->dimension(), "observation dimension mismatch");
+  DRAGSTER_REQUIRE(std::isfinite(y), "observation target must be finite");
+
+  if (inputs_.empty()) {
+    linalg::Matrix k(1, 1, (*kernel_)(x, x) + noise_variance_);
+    chol_ = std::make_unique<linalg::Cholesky>(k);
+  } else {
+    linalg::Vector col(inputs_.size());
+    for (std::size_t i = 0; i < inputs_.size(); ++i) col[i] = (*kernel_)(inputs_[i], x);
+    chol_->extend(col, (*kernel_)(x, x) + noise_variance_);
+  }
+  inputs_.push_back(std::move(x));
+  targets_.push_back(y);
+  rebuild_alpha();
+}
+
+void GaussianProcess::rebuild_alpha() {
+  linalg::Vector centered(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) centered[i] = targets_[i] - prior_mean_;
+  alpha_ = chol_->solve(centered);
+}
+
+Posterior GaussianProcess::predict(std::span<const double> x) const {
+  DRAGSTER_REQUIRE(x.size() == kernel_->dimension(), "prediction dimension mismatch");
+  if (inputs_.empty()) return {prior_mean_, kernel_->prior_variance()};
+
+  linalg::Vector k(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) k[i] = (*kernel_)(inputs_[i], x);
+
+  Posterior post;
+  post.mean = prior_mean_ + linalg::dot(k, alpha_);
+  // variance = k(x,x) - k^T (K + s^2 I)^{-1} k, computed via v = L^{-1} k.
+  const linalg::Vector v = chol_->solve_lower(k);
+  post.variance = (*kernel_)(x, x) - linalg::dot(v, v);
+  if (post.variance < 0.0) post.variance = 0.0;  // guard FP round-off
+  return post;
+}
+
+double GaussianProcess::log_marginal_likelihood() const {
+  if (inputs_.empty()) return 0.0;
+  linalg::Vector centered(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) centered[i] = targets_[i] - prior_mean_;
+  const double fit = linalg::dot(centered, alpha_);
+  const double n = static_cast<double>(targets_.size());
+  return -0.5 * fit - 0.5 * chol_->log_det() - 0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::reset() {
+  inputs_.clear();
+  targets_.clear();
+  alpha_.clear();
+  chol_.reset();
+}
+
+double ucb_beta(std::size_t num_candidates, std::size_t t, double delta) {
+  DRAGSTER_REQUIRE(num_candidates > 0, "need at least one candidate");
+  DRAGSTER_REQUIRE(delta > 1.0, "paper requires delta in (1, inf)");
+  const double tt = static_cast<double>(t == 0 ? 1 : t);
+  const double pi_sq = std::numbers::pi * std::numbers::pi;
+  const double beta =
+      2.0 * std::log(static_cast<double>(num_candidates) * tt * tt * pi_sq * delta / 6.0);
+  return beta > 0.0 ? beta : 1e-3;
+}
+
+InformationGainMeter::InformationGainMeter(double noise_variance)
+    : inv_noise_(1.0 / noise_variance) {
+  DRAGSTER_REQUIRE(noise_variance > 0.0, "noise variance must be positive");
+}
+
+void InformationGainMeter::record(double predictive_variance) {
+  DRAGSTER_REQUIRE(predictive_variance >= 0.0, "variance must be non-negative");
+  half_sum_ += 0.5 * std::log(1.0 + inv_noise_ * predictive_variance);
+  ++rounds_;
+}
+
+}  // namespace dragster::gp

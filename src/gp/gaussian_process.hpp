@@ -1,0 +1,90 @@
+// Gaussian-process regression with noisy observations (paper eq. 17).
+//
+// One instance models one operator's capacity function y_i(x_i); the
+// controller appends an observation per slot, so the posterior is maintained
+// incrementally: the Cholesky factor of (K + sigma^2 I) is extended in
+// O(n^2) per observation and alpha = (K + sigma^2 I)^{-1} (y - m) is
+// recomputed from the factor.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace dragster::gp {
+
+struct Posterior {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  /// `noise_variance` is sigma^2 of the observation model c = y + eps.
+  /// `prior_mean` is the constant GP mean m(x); capacity priors are centred
+  /// on a rough capacity scale rather than zero so the first UCB steps are
+  /// sensible.
+  GaussianProcess(std::unique_ptr<Kernel> kernel, double noise_variance, double prior_mean = 0.0);
+
+  GaussianProcess(const GaussianProcess& other);
+  GaussianProcess& operator=(const GaussianProcess& other);
+  GaussianProcess(GaussianProcess&&) noexcept = default;
+  GaussianProcess& operator=(GaussianProcess&&) noexcept = default;
+
+  /// Appends one (x, y) observation and updates the posterior.
+  void add_observation(std::vector<double> x, double y);
+
+  /// Posterior mean/variance at a point (paper eq. 17).  With no
+  /// observations, returns the prior.
+  [[nodiscard]] Posterior predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t num_observations() const noexcept { return inputs_.size(); }
+  [[nodiscard]] double noise_variance() const noexcept { return noise_variance_; }
+  [[nodiscard]] double prior_mean() const noexcept { return prior_mean_; }
+  [[nodiscard]] const Kernel& kernel() const noexcept { return *kernel_; }
+
+  /// log p(y | X) under the current hyperparameters; used by the
+  /// marginal-likelihood sanity tests and the lengthscale sweep ablation.
+  [[nodiscard]] double log_marginal_likelihood() const;
+
+  /// Drops all observations but keeps hyperparameters.
+  void reset();
+
+ private:
+  void rebuild_alpha();
+
+  std::unique_ptr<Kernel> kernel_;
+  double noise_variance_;
+  double prior_mean_;
+  std::vector<std::vector<double>> inputs_;
+  linalg::Vector targets_;             // raw y values
+  std::unique_ptr<linalg::Cholesky> chol_;  // factor of K + sigma^2 I
+  linalg::Vector alpha_;               // (K + sigma^2 I)^{-1} (y - m)
+};
+
+/// Paper UCB weight: beta_t = 2 log(|X| t^2 pi^2 delta / 6), delta > 1.
+/// Clamped below at a small positive value so early slots still explore.
+[[nodiscard]] double ucb_beta(std::size_t num_candidates, std::size_t t, double delta);
+
+/// Accumulates sum_t log(1 + sigma^{-2} sigma_{t-1}^2(x_t)) — the empirical
+/// information gain that Theorem 1 bounds by Gamma_T.
+class InformationGainMeter {
+ public:
+  explicit InformationGainMeter(double noise_variance);
+
+  void record(double predictive_variance);
+
+  [[nodiscard]] double gain() const noexcept { return half_sum_ ; }
+  [[nodiscard]] std::size_t rounds() const noexcept { return rounds_; }
+
+ private:
+  double inv_noise_;
+  double half_sum_ = 0.0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace dragster::gp

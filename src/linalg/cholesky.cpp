@@ -1,0 +1,94 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace dragster::linalg {
+namespace {
+
+// In-place lower-triangular factorization; returns false on a non-positive
+// pivot so the caller can retry with jitter.
+bool try_factor(Matrix& l) {
+  const std::size_t n = l.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = l(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = l(i, j);
+      for (std::size_t k = 0; k < j; ++k) value -= l(i, k) * l(j, k);
+      l(i, j) = value / ljj;
+    }
+    for (std::size_t c = j + 1; c < n; ++c) l(j, c) = 0.0;
+  }
+  return true;
+}
+
+}  // namespace
+
+Cholesky::Cholesky(const Matrix& a, double jitter) : jitter_(jitter) {
+  DRAGSTER_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  double added = 0.0;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    l_ = a;
+    if (added > 0.0)
+      for (std::size_t i = 0; i < l_.rows(); ++i) l_(i, i) += added;
+    if (try_factor(l_)) return;
+    added = added == 0.0 ? jitter_ : added * 10.0;
+  }
+  throw std::runtime_error("Cholesky: matrix is not positive definite even with jitter");
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  DRAGSTER_REQUIRE(b.size() == l_.rows(), "size mismatch in Cholesky::solve_lower");
+  const std::size_t n = l_.rows();
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t k = 0; k < i; ++k) value -= l_(i, k) * z[k];
+    z[i] = value / l_(i, i);
+  }
+  return z;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  Vector z = solve_lower(b);
+  const std::size_t n = l_.rows();
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double value = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) value -= l_(k, ii) * x[k];
+    x[ii] = value / l_(ii, ii);
+  }
+  return x;
+}
+
+void Cholesky::extend(const Vector& col, double diag) {
+  DRAGSTER_REQUIRE(col.size() == l_.rows(), "extend column must match current size");
+  const std::size_t n = l_.rows();
+  // New row r solves L r = col; new pivot is sqrt(diag - r.r).
+  const Vector r = solve_lower(col);
+  double pivot_sq = diag - dot(r, r);
+  if (pivot_sq <= 0.0 || !std::isfinite(pivot_sq)) {
+    double added = jitter_;
+    while (pivot_sq + added <= 0.0 && added < 1.0) added *= 10.0;
+    pivot_sq += added;
+    if (pivot_sq <= 0.0)
+      throw std::runtime_error("Cholesky::extend: update breaks positive definiteness");
+  }
+  l_.grow_symmetric();
+  for (std::size_t k = 0; k < n; ++k) l_(n, k) = r[k];
+  l_(n, n) = std::sqrt(pivot_sq);
+}
+
+double Cholesky::log_det() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) sum += std::log(l_(i, i));
+  return 2.0 * sum;
+}
+
+}  // namespace dragster::linalg

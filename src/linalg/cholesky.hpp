@@ -1,0 +1,42 @@
+// Cholesky factorization with incremental extension.
+//
+// The GP posterior (paper eq. 17) solves (K + sigma^2 I)^{-1} against kernel
+// vectors; Cholesky is the numerically sound way to do that for SPD kernels.
+// `extend` appends one observation in O(n^2) instead of refactorizing in
+// O(n^3), which keeps per-slot controller cost flat as history grows.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace dragster::linalg {
+
+class Cholesky {
+ public:
+  /// Factors the SPD matrix `a` as L L^T.  If `a` is near-singular, a jitter
+  /// of escalating magnitude (starting at `jitter`) is added to the diagonal;
+  /// throws std::runtime_error if factorization still fails after escalation.
+  explicit Cholesky(const Matrix& a, double jitter = 1e-10);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves L z = b (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Appends one row/column to the factored matrix: `col` is the new
+  /// off-diagonal column of A (length n), `diag` the new diagonal entry.
+  /// The same escalating-jitter policy guards the new pivot.
+  void extend(const Vector& col, double diag);
+
+  [[nodiscard]] std::size_t size() const noexcept { return l_.rows(); }
+  [[nodiscard]] const Matrix& factor() const noexcept { return l_; }
+
+  /// log det(A) = 2 * sum log L_ii — used by marginal-likelihood fitting.
+  [[nodiscard]] double log_det() const;
+
+ private:
+  Matrix l_;
+  double jitter_;
+};
+
+}  // namespace dragster::linalg

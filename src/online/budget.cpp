@@ -1,0 +1,53 @@
+#include "online/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace dragster::online {
+
+Budget::Budget(double dollars_per_hour, double pod_price)
+    : dollars_per_hour_(dollars_per_hour), pod_price_(pod_price) {
+  DRAGSTER_REQUIRE(pod_price > 0.0, "pod price must be positive");
+  DRAGSTER_REQUIRE(dollars_per_hour > 0.0, "budget must be positive");
+}
+
+bool Budget::limited() const noexcept { return std::isfinite(dollars_per_hour_); }
+
+std::size_t Budget::max_total_tasks() const noexcept {
+  if (!limited()) return std::numeric_limits<std::size_t>::max();
+  return static_cast<std::size_t>(std::floor(dollars_per_hour_ / pod_price_ + 1e-9));
+}
+
+bool Budget::feasible_total(double total_tasks) const noexcept {
+  if (!limited()) return true;
+  return cost_of_tasks(total_tasks) <= dollars_per_hour_ + 1e-9;
+}
+
+bool Budget::feasible(std::span<const int> tasks_per_operator) const noexcept {
+  const double total = std::accumulate(tasks_per_operator.begin(), tasks_per_operator.end(), 0.0);
+  return feasible_total(total);
+}
+
+std::vector<int> Budget::project(std::vector<int> tasks_per_operator) const {
+  for (int tasks : tasks_per_operator)
+    DRAGSTER_REQUIRE(tasks >= 1, "every operator needs at least one task");
+  if (!limited()) return tasks_per_operator;
+
+  const auto cap = max_total_tasks();
+  DRAGSTER_REQUIRE(cap >= tasks_per_operator.size(),
+                   "budget cannot afford one task per operator");
+  auto total = static_cast<std::size_t>(
+      std::accumulate(tasks_per_operator.begin(), tasks_per_operator.end(), 0));
+  while (total > cap) {
+    auto widest = std::max_element(tasks_per_operator.begin(), tasks_per_operator.end());
+    if (*widest <= 1) break;  // cannot shrink further (guarded by the cap check)
+    --*widest;
+    --total;
+  }
+  return tasks_per_operator;
+}
+
+}  // namespace dragster::online

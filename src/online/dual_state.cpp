@@ -1,0 +1,41 @@
+#include "online/dual_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dragster::online {
+
+DualState::DualState(std::size_t size, double gamma0, bool decay)
+    : lambda_(size, 0.0), gamma0_(gamma0), decay_(decay) {
+  DRAGSTER_REQUIRE(gamma0 > 0.0, "gamma0 must be positive");
+}
+
+double DualState::gamma_at(std::size_t t) const noexcept {
+  if (!decay_) return gamma0_;
+  return gamma0_ / std::sqrt(static_cast<double>(t == 0 ? 1 : t));
+}
+
+void DualState::update(std::span<const double> constraints) {
+  DRAGSTER_REQUIRE(constraints.size() == lambda_.size(), "constraint size mismatch");
+  ++slot_;
+  const double gamma = gamma_at(slot_);
+  for (std::size_t i = 0; i < lambda_.size(); ++i) {
+    if (!std::isfinite(constraints[i])) continue;
+    lambda_[i] = std::max(0.0, lambda_[i] + gamma * constraints[i]);
+  }
+}
+
+double DualState::norm() const {
+  double sum = 0.0;
+  for (double value : lambda_) sum += value * value;
+  return std::sqrt(sum);
+}
+
+void DualState::reset() {
+  std::fill(lambda_.begin(), lambda_.end(), 0.0);
+  slot_ = 0;
+}
+
+}  // namespace dragster::online

@@ -1,0 +1,39 @@
+// Dual-variable bookkeeping for the long-term buffer constraint.
+//
+// Paper eq. (15): lambda_i(t) = max{0, lambda_i(t-1) + gamma * l_i(y_i(t))}
+// with gamma = 1/sqrt(t) for the regret bound.  Each multiplier tracks how
+// much operator i has historically under-provisioned; a large lambda pushes
+// the saddle-point step to allocate more capacity there.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace dragster::online {
+
+class DualState {
+ public:
+  /// `size` is the node count (multipliers are node-indexed; non-operator
+  /// entries stay at zero).  `gamma0` scales the step; with `decay` the
+  /// effective step at slot t is gamma0/sqrt(t) as in Theorem 1.
+  DualState(std::size_t size, double gamma0, bool decay = true);
+
+  /// Applies eq. (15) with the slot's constraint values l_i(y_i(t)).
+  /// Non-finite entries are ignored (treated as inactive).
+  void update(std::span<const double> constraints);
+
+  [[nodiscard]] const std::vector<double>& lambda() const noexcept { return lambda_; }
+  [[nodiscard]] double gamma_at(std::size_t t) const noexcept;
+  [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
+  [[nodiscard]] double norm() const;
+
+  void reset();
+
+ private:
+  std::vector<double> lambda_;
+  double gamma0_;
+  bool decay_;
+  std::size_t slot_ = 0;
+};
+
+}  // namespace dragster::online

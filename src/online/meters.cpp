@@ -1,0 +1,29 @@
+#include "online/meters.hpp"
+
+#include <cmath>
+
+namespace dragster::online {
+
+void RegretMeter::record(double optimal, double achieved) {
+  total_ += optimal - achieved;
+  history_.push_back(total_);
+}
+
+double RegretMeter::average() const noexcept {
+  return history_.empty() ? 0.0 : total_ / static_cast<double>(history_.size());
+}
+
+void FitMeter::record(std::span<const double> constraints) {
+  for (double value : constraints) {
+    if (!std::isfinite(value)) continue;
+    signed_ += value;
+    if (value > 0.0) violation_ += value;
+  }
+  history_.push_back(violation_);
+}
+
+double FitMeter::average_violation() const noexcept {
+  return history_.empty() ? 0.0 : violation_ / static_cast<double>(history_.size());
+}
+
+}  // namespace dragster::online

@@ -1,0 +1,50 @@
+// Dynamic regret and dynamic fit accounting (paper eq. 10 and 12).
+//
+// RegretMeter accumulates f_t(y*_t) - f_t(y_t); FitMeter accumulates the
+// soft-constraint values l_i(y_i(t)).  Fit is reported both as the paper's
+// signed sum (which bounds buffered tuples) and as the positive part
+// (violations only), which is the quantity the "sub-linear" plots show.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dragster::online {
+
+class RegretMeter {
+ public:
+  /// Records one slot.  `optimal` is f_t(y*_t), `achieved` is f_t(y_t(x_t)).
+  void record(double optimal, double achieved);
+
+  [[nodiscard]] double total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return history_.size(); }
+  /// Reg_t after each slot (cumulative series for the sub-linearity plots).
+  [[nodiscard]] const std::vector<double>& series() const noexcept { return history_; }
+  /// Average per-slot regret — must shrink if regret is sub-linear.
+  [[nodiscard]] double average() const noexcept;
+
+ private:
+  double total_ = 0.0;
+  std::vector<double> history_;
+};
+
+class FitMeter {
+ public:
+  /// Records one slot's constraint vector (node-indexed; non-finite entries
+  /// ignored).
+  void record(std::span<const double> constraints);
+
+  [[nodiscard]] double total_signed() const noexcept { return signed_; }
+  [[nodiscard]] double total_violation() const noexcept { return violation_; }
+  [[nodiscard]] std::size_t slots() const noexcept { return history_.size(); }
+  [[nodiscard]] const std::vector<double>& series() const noexcept { return history_; }
+  [[nodiscard]] double average_violation() const noexcept;
+
+ private:
+  double signed_ = 0.0;
+  double violation_ = 0.0;
+  std::vector<double> history_;  // cumulative positive-part violations
+};
+
+}  // namespace dragster::online

@@ -1,0 +1,39 @@
+#include "online/ogd.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dragster::online {
+
+OgdSolver::OgdSolver(OgdOptions options) : options_(options) {
+  DRAGSTER_REQUIRE(options_.eta > 0.0, "eta must be positive");
+  DRAGSTER_REQUIRE(options_.y_max > options_.y_min, "empty capacity box");
+}
+
+std::vector<double> OgdSolver::step(const dag::FlowSolver& flow,
+                                    std::span<const double> source_rates,
+                                    std::span<const double> lambda,
+                                    std::span<const double> y_prev,
+                                    std::span<const double> observed_demand,
+                                    std::span<const double> eta_per_node) const {
+  const dag::StreamDag& dag = flow.dag();
+  const std::size_t n = dag.node_count();
+  DRAGSTER_REQUIRE(y_prev.size() == n, "y_prev must be node-indexed");
+  DRAGSTER_REQUIRE(eta_per_node.empty() || eta_per_node.size() == n,
+                   "eta_per_node must be node-indexed when present");
+
+  const dag::LagrangianResult lr =
+      flow.lagrangian(source_rates, y_prev, lambda, observed_demand);
+
+  std::vector<double> y(y_prev.begin(), y_prev.end());
+  for (dag::NodeId id = 0; id < n; ++id) {
+    if (dag.component(id).kind != dag::ComponentKind::kOperator) continue;
+    const double eta = eta_per_node.empty() ? options_.eta : eta_per_node[id];
+    const double grad = lr.dvalue_dy[id] - options_.capacity_regularization;
+    y[id] = std::clamp(y_prev[id] + eta * grad, options_.y_min, options_.y_max);
+  }
+  return y;
+}
+
+}  // namespace dragster::online

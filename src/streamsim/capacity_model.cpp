@@ -1,0 +1,48 @@
+#include "streamsim/capacity_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dragster::streamsim {
+
+CapacityModel::CapacityModel(UslParams params) : params_(params) {
+  DRAGSTER_REQUIRE(params_.per_task_rate > 0.0, "per-task rate must be positive");
+  DRAGSTER_REQUIRE(params_.contention >= 0.0 && params_.coherence >= 0.0,
+                   "USL penalties must be non-negative");
+  DRAGSTER_REQUIRE(params_.cpu_exponent > 0.0 && params_.cpu_exponent <= 1.0,
+                   "cpu exponent must be in (0, 1]");
+  DRAGSTER_REQUIRE(params_.memory_gb_per_10k > 0.0, "memory coefficient must be positive");
+}
+
+double CapacityModel::capacity(int tasks, const cluster::PodSpec& spec) const {
+  DRAGSTER_REQUIRE(tasks >= 1, "capacity needs at least one task");
+  const double n = static_cast<double>(tasks);
+  const double usl =
+      n / (1.0 + params_.contention * (n - 1.0) + params_.coherence * n * (n - 1.0));
+  const double cpu_factor = std::pow(spec.cpu_cores, params_.cpu_exponent);
+  double rate = params_.per_task_rate * cpu_factor * usl;
+
+  // Memory ceiling: each task can sustain at most this many tuples/s before
+  // state no longer fits (per-task cap, so more tasks raise the ceiling).
+  const double mem_cap_per_task = spec.memory_gb / params_.memory_gb_per_10k * 10'000.0;
+  rate = std::min(rate, mem_cap_per_task * n);
+  return rate;
+}
+
+int CapacityModel::best_tasks(int max_tasks, const cluster::PodSpec& spec) const {
+  DRAGSTER_REQUIRE(max_tasks >= 1, "max_tasks must be positive");
+  int best = 1;
+  double best_rate = capacity(1, spec);
+  for (int n = 2; n <= max_tasks; ++n) {
+    const double rate = capacity(n, spec);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace dragster::streamsim

@@ -1,0 +1,42 @@
+// Ground-truth operator capacity surfaces.
+//
+// The controller never sees this model — it is the hidden function y_i(x_i)
+// the Gaussian process must learn.  We use the Universal Scalability Law
+// (Gunther):  y(n) = r * n / (1 + sigma*(n-1) + kappa*n*(n-1))
+// which captures the paper's observations about real operators: non-linear
+// diminishing returns (contention sigma) and even retrograde scaling
+// (coherence kappa), so adding an executor can yield only marginal — or
+// negative — gain.  Vertical scale (pod spec) multiplies the per-task rate
+// sub-linearly in CPU and caps throughput when memory is short.
+#pragma once
+
+#include "cluster/pricing.hpp"
+
+namespace dragster::streamsim {
+
+struct UslParams {
+  double per_task_rate = 10'000.0;  ///< output tuples/s of one task at 1 CPU
+  double contention = 0.05;         ///< sigma: serialization penalty
+  double coherence = 0.0;           ///< kappa: crosstalk penalty (retrograde)
+  double cpu_exponent = 0.85;       ///< per-task rate ~ cpu^exponent
+  double memory_gb_per_10k = 1.0;   ///< GB needed per 10k tuples/s per task
+};
+
+class CapacityModel {
+ public:
+  explicit CapacityModel(UslParams params);
+
+  /// Noise-free capacity (output tuples/s) for `tasks` pods of `spec`.
+  [[nodiscard]] double capacity(int tasks, const cluster::PodSpec& spec = {}) const;
+
+  /// The task count in [1, max_tasks] with the highest capacity (USL peaks
+  /// when coherence > 0).
+  [[nodiscard]] int best_tasks(int max_tasks, const cluster::PodSpec& spec = {}) const;
+
+  [[nodiscard]] const UslParams& params() const noexcept { return params_; }
+
+ private:
+  UslParams params_;
+};
+
+}  // namespace dragster::streamsim

@@ -1,0 +1,386 @@
+#include "streamsim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dragster::streamsim {
+
+// -- JobMonitor ---------------------------------------------------------------
+
+const dag::StreamDag& JobMonitor::dag() const { return engine_.dag(); }
+const SlotReport& JobMonitor::last_report() const { return engine_.last_report(); }
+bool JobMonitor::has_report() const { return engine_.has_report(); }
+int JobMonitor::tasks(dag::NodeId op) const { return engine_.tasks(op); }
+std::size_t JobMonitor::slots_run() const { return engine_.slots_run(); }
+double JobMonitor::total_tuples() const { return engine_.total_tuples(); }
+double JobMonitor::total_cost() const { return engine_.total_cost(); }
+double JobMonitor::now_seconds() const { return engine_.now_seconds(); }
+int JobMonitor::max_tasks() const { return engine_.options().max_tasks; }
+
+double JobMonitor::pod_price_per_hour(dag::NodeId op) const {
+  return cluster::PricingModel::standard().pod_price_per_hour(engine_.pod_spec(op));
+}
+
+cluster::PodSpec JobMonitor::pod_spec(dag::NodeId op) const { return engine_.pod_spec(op); }
+
+// -- Engine -------------------------------------------------------------------
+
+Engine::Engine(dag::StreamDag dag, std::map<dag::NodeId, UslParams> usl,
+               std::map<dag::NodeId, std::unique_ptr<RateSchedule>> schedules,
+               EngineOptions options, std::uint64_t seed, cluster::PricingModel pricing)
+    : dag_(std::move(dag)),
+      options_(options),
+      cluster_(pricing),
+      metrics_(),
+      root_rng_(seed),
+      schedules_(std::move(schedules)) {
+  DRAGSTER_REQUIRE(dag_.validated(), "Engine requires a validated DAG");
+  DRAGSTER_REQUIRE(options_.slot_duration_s > 0.0 && options_.micro_step_s > 0.0,
+                   "durations must be positive");
+  DRAGSTER_REQUIRE(options_.checkpoint_pause_s >= 0.0 &&
+                       options_.checkpoint_pause_s < options_.slot_duration_s,
+                   "checkpoint pause must fit inside a slot");
+  DRAGSTER_REQUIRE(options_.max_tasks >= 1, "max_tasks must be positive");
+
+  for (dag::NodeId id : dag_.operators()) {
+    const auto it = usl.find(id);
+    DRAGSTER_REQUIRE(it != usl.end(),
+                     "missing USL parameters for operator " + dag_.component(id).name);
+    OperatorState state;
+    state.model = std::make_unique<CapacityModel>(it->second);
+    state.backlog.assign(dag_.in_edges(id).size(), 0.0);
+    ops_.emplace(id, std::move(state));
+    cluster_.add_deployment(dag_.component(id).name, 1);
+  }
+  for (dag::NodeId id : dag_.sources()) {
+    DRAGSTER_REQUIRE(schedules_.count(id),
+                     "missing rate schedule for source " + dag_.component(id).name);
+    source_pending_[id] = 0.0;
+  }
+  for (const auto& [id, schedule] : schedules_) {
+    DRAGSTER_REQUIRE(dag_.component(id).kind == dag::ComponentKind::kSource,
+                     "schedule attached to a non-source node");
+    DRAGSTER_REQUIRE(schedule != nullptr, "null rate schedule");
+  }
+}
+
+void Engine::set_tasks(dag::NodeId op, int new_tasks) {
+  auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "set_tasks on a non-operator node");
+  DRAGSTER_REQUIRE(new_tasks >= 1 && new_tasks <= options_.max_tasks,
+                   "task count outside [1, max_tasks]");
+  if (it->second.tasks == new_tasks) return;
+  it->second.tasks = new_tasks;
+  it->second.reconfig_pending = true;
+  cluster_.scale_replicas(dag_.component(op).name, new_tasks);
+}
+
+void Engine::set_pod_spec(dag::NodeId op, cluster::PodSpec spec) {
+  auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "set_pod_spec on a non-operator node");
+  if (it->second.spec == spec) return;
+  it->second.spec = spec;
+  it->second.reconfig_pending = true;
+  cluster_.resize_pods(dag_.component(op).name, spec);
+}
+
+void Engine::inject_pod_failure(dag::NodeId op) {
+  auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "inject_pod_failure on a non-operator node");
+  if (it->second.tasks <= 1) return;  // last pod: Kubernetes would reschedule
+  it->second.tasks -= 1;
+  // No reconfig_pending: crashes do not checkpoint.
+  cluster_.scale_replicas(dag_.component(op).name, it->second.tasks);
+}
+
+const SlotReport& Engine::last_report() const {
+  DRAGSTER_REQUIRE(report_.has_value(), "no slot has run yet");
+  return *report_;
+}
+
+int Engine::tasks(dag::NodeId op) const {
+  const auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "tasks() on a non-operator node");
+  return it->second.tasks;
+}
+
+cluster::PodSpec Engine::pod_spec(dag::NodeId op) const {
+  const auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "pod_spec() on a non-operator node");
+  return it->second.spec;
+}
+
+double Engine::true_capacity(dag::NodeId op, int task_count,
+                             std::optional<cluster::PodSpec> spec) const {
+  const auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "true_capacity() on a non-operator node");
+  return it->second.model->capacity(task_count, spec.value_or(it->second.spec));
+}
+
+double Engine::offered_rate(dag::NodeId source, double at_seconds) const {
+  const auto it = schedules_.find(source);
+  DRAGSTER_REQUIRE(it != schedules_.end(), "offered_rate() on a non-source node");
+  return it->second->rate_at(at_seconds);
+}
+
+const CapacityModel& Engine::capacity_model(dag::NodeId op) const {
+  const auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "capacity_model() on a non-operator node");
+  return *it->second.model;
+}
+
+const SlotReport& Engine::run_slot() {
+  ++slot_index_;
+  common::Rng slot_rng = root_rng_.substream("slot", slot_index_);
+
+  SlotReport report;
+  report.slot_index = slot_index_ - 1;
+  report.start_seconds = now_s_;
+  report.duration_s = options_.slot_duration_s;
+  report.per_node.assign(dag_.node_count(), OperatorMetrics{});
+  report.source_rate.assign(dag_.node_count(), 0.0);
+  report.edge_rate.assign(dag_.edge_count(), 0.0);
+  edge_sum_.assign(dag_.edge_count(), 0.0);
+  processing_steps_ = 0;
+  report.cost_rate_per_hour = cluster_.cost_rate_per_hour();
+
+  // Resample cloud noise and decide whether a checkpoint pause is due.
+  bool reconfigured = false;
+  for (auto& [id, state] : ops_) {
+    common::Rng cloud = slot_rng.substream("cloud", id);
+    state.slot_cloud_factor = std::clamp(cloud.normal(1.0, options_.capacity_noise), 0.7, 1.3);
+    if (state.reconfig_pending) {
+      reconfigured = true;
+      state.reconfig_pending = false;
+    }
+  }
+  report.pause_s = reconfigured ? options_.checkpoint_pause_s : 0.0;
+
+  accum_.assign(dag_.node_count(), StepAccum{});
+  for (auto& [id, state] : ops_) {
+    double total = 0.0;
+    for (double b : state.backlog) total += b;
+    report.per_node[id].backlog_start = total;
+    report.per_node[id].tasks = state.tasks;
+  }
+
+  const double dt = options_.micro_step_s;
+  const auto total_steps = static_cast<std::size_t>(options_.slot_duration_s / dt + 0.5);
+  const auto pause_steps = static_cast<std::size_t>(report.pause_s / dt + 0.5);
+
+  std::vector<double> edge_rate(dag_.edge_count(), 0.0);
+  common::Rng step_rng = slot_rng.substream("steps");
+
+  double sample_tuples = 0.0;
+  double sample_start = now_s_;
+  double slot_tuples = 0.0;
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    if (step < pause_steps) {
+      // Checkpoint: offered tuples park upstream (e.g. in Kafka); nothing is
+      // processed anywhere.
+      for (auto& [id, pending] : source_pending_) {
+        const double rate = schedules_.at(id)->rate_at(now_s_);
+        pending += rate * dt;
+        accum_[id].offered_sum += rate;
+        accum_[id].steps += 1;
+      }
+      now_s_ += dt;
+      continue;
+    }
+
+    const double before = total_tuples_;
+    micro_step(dt, edge_rate, step_rng);
+    const double processed = total_tuples_ - before;
+    slot_tuples += processed;
+    sample_tuples += processed;
+
+    if (now_s_ - sample_start >= options_.sample_interval_s - 1e-9) {
+      report.throughput_series.emplace_back(now_s_, sample_tuples / (now_s_ - sample_start));
+      sample_tuples = 0.0;
+      sample_start = now_s_;
+    }
+  }
+  if (now_s_ - sample_start > 1e-9)
+    report.throughput_series.emplace_back(now_s_, sample_tuples / (now_s_ - sample_start));
+
+  // Fold accumulators into per-node averages.
+  for (dag::NodeId id = 0; id < dag_.node_count(); ++id) {
+    const StepAccum& a = accum_[id];
+    OperatorMetrics& m = report.per_node[id];
+    if (a.steps == 0) continue;
+    const double steps = static_cast<double>(a.steps);
+    m.in_rate = a.in_sum / steps;
+    m.out_rate = a.out_sum / steps;
+    m.demand_rate = a.demand_sum / steps;
+    m.arrival_demand_rate = a.arrival_demand_sum / steps;
+    m.cpu_utilization = a.util_obs_sum / steps;
+    m.observed_capacity = a.cap_obs_count > 0
+                              ? a.cap_obs_sum / static_cast<double>(a.cap_obs_count)
+                              : 0.0;
+    m.dropped = a.dropped;
+    // Little's law: average buffered tuples over the average drain rate.
+    const double consumed_rate = a.consumed_sum / (steps * options_.micro_step_s);
+    m.queue_delay_s = consumed_rate > 1e-9 ? (a.backlog_sum / steps) / consumed_rate : 0.0;
+    if (dag_.component(id).kind == dag::ComponentKind::kSource)
+      report.source_rate[id] = a.offered_sum / steps;
+  }
+
+  // End-to-end latency estimate: longest source->sink path of queue delays.
+  {
+    std::vector<double> path_delay(dag_.node_count(), 0.0);
+    for (dag::NodeId id : dag_.topo_order()) {
+      double upstream = 0.0;
+      for (std::size_t eidx : dag_.in_edges(id))
+        upstream = std::max(upstream, path_delay[dag_.edge(eidx).from]);
+      path_delay[id] = upstream + report.per_node[id].queue_delay_s;
+    }
+    report.latency_estimate_s = path_delay[dag_.sink()];
+  }
+
+  for (auto& [id, state] : ops_) {
+    double total = 0.0;
+    for (double b : state.backlog) total += b;
+    OperatorMetrics& m = report.per_node[id];
+    m.backlog_end = total;
+    // Backpressure = the operator cannot keep up with its *incoming* rate.
+    // Historical backlog being drained does not re-raise the flag (mirrors
+    // Flink: backpressure clears once intake keeps up, even while buffers
+    // empty at full speed).
+    const double avg_overload =
+        accum_[id].steps > 0 ? accum_[id].overload_sum / static_cast<double>(accum_[id].steps)
+                             : 0.0;
+    m.backpressured = avg_overload > options_.backpressure_util;
+    metrics_.record_cpu(dag_.component(id).name, m.cpu_utilization);
+  }
+
+  if (processing_steps_ > 0) {
+    for (std::size_t e = 0; e < dag_.edge_count(); ++e)
+      report.edge_rate[e] =
+          edge_sum_[e] / (static_cast<double>(processing_steps_) * options_.micro_step_s);
+  }
+
+  report.tuples_processed = slot_tuples;
+  report.throughput_rate = slot_tuples / options_.slot_duration_s;
+
+  const double cost_before = cluster_.accrued_cost();
+  cluster_.accrue(options_.slot_duration_s);
+  report.cost = cluster_.accrued_cost() - cost_before;
+
+  report_ = std::move(report);
+  return *report_;
+}
+
+void Engine::micro_step(double dt, std::vector<double>& edge_rate, common::Rng& step_rng) {
+  std::fill(edge_rate.begin(), edge_rate.end(), 0.0);
+
+  for (dag::NodeId id : dag_.topo_order()) {
+    const dag::Component& comp = dag_.component(id);
+    StepAccum& acc = accum_[id];
+
+    if (comp.kind == dag::ComponentKind::kSource) {
+      const double base_rate = schedules_.at(id)->rate_at(now_s_);
+      const double noisy_rate =
+          std::max(0.0, base_rate * (1.0 + step_rng.normal(0.0, options_.source_noise)));
+      const double amount = noisy_rate * dt + source_pending_[id];
+      source_pending_[id] = 0.0;
+      const double in_rate = amount / dt;
+      const std::vector<double> inputs{in_rate};
+      double emitted = 0.0;
+      for (std::size_t eidx : dag_.out_edges(id)) {
+        const dag::Edge& edge = dag_.edge(eidx);
+        const double out = edge.fn->eval(inputs);
+        edge_rate[eidx] = out * dt;
+        emitted += out;
+      }
+      acc.offered_sum += noisy_rate;
+      acc.in_sum += noisy_rate;
+      acc.out_sum += emitted;
+      acc.steps += 1;
+      continue;
+    }
+
+    if (comp.kind == dag::ComponentKind::kSink) {
+      double inflow = 0.0;
+      for (std::size_t eidx : dag_.in_edges(id)) inflow += edge_rate[eidx];
+      total_tuples_ += inflow;
+      acc.in_sum += inflow / dt;
+      acc.steps += 1;
+      continue;
+    }
+
+    // Operator: offer backlog + arrivals, truncate by hidden capacity.
+    OperatorState& state = ops_.at(id);
+    const auto& in_edges = dag_.in_edges(id);
+    std::vector<double> avail(in_edges.size());
+    std::vector<double> inputs(in_edges.size());
+    double arrivals = 0.0;
+    for (std::size_t k = 0; k < in_edges.size(); ++k) {
+      avail[k] = state.backlog[k] + edge_rate[in_edges[k]];
+      inputs[k] = avail[k] / dt;
+      arrivals += edge_rate[in_edges[k]];
+    }
+
+    const double y_true = state.model->capacity(state.tasks, state.spec);
+    const double y_now = std::max(
+        1.0, y_true * state.slot_cloud_factor * (1.0 + step_rng.normal(0.0, options_.step_noise)));
+
+    // Demand from fresh arrivals only — the "can it keep up with the
+    // incoming rate" signal backpressure detection uses.
+    std::vector<double> fresh(in_edges.size());
+    for (std::size_t k = 0; k < in_edges.size(); ++k) fresh[k] = edge_rate[in_edges[k]] / dt;
+
+    double demand = 0.0;
+    double arrival_demand = 0.0;
+    double out_total = 0.0;
+    for (std::size_t eidx : dag_.out_edges(id)) {
+      const dag::Edge& edge = dag_.edge(eidx);
+      const double d = edge.fn->eval(inputs);
+      demand += d;
+      arrival_demand += edge.fn->eval(fresh);
+      const double out = std::min(edge.alpha * y_now, d);
+      edge_rate[eidx] = out * dt;
+      out_total += out;
+    }
+
+    const double rho = demand > 1e-12 ? std::min(1.0, out_total / demand) : 0.0;
+    double backlog_total = 0.0;
+    for (std::size_t k = 0; k < in_edges.size(); ++k) {
+      double remaining = avail[k] * (1.0 - rho);
+      if (remaining > options_.buffer_limit) {
+        acc.dropped += remaining - options_.buffer_limit;
+        remaining = options_.buffer_limit;
+      }
+      state.backlog[k] = remaining;
+      backlog_total += remaining;
+      acc.consumed_sum += avail[k] * rho;
+    }
+    acc.backlog_sum += backlog_total;
+
+    const double util_true = std::min(1.0, demand / y_now);
+    const double util_obs = std::clamp(
+        util_true * (1.0 + step_rng.normal(0.0, options_.cpu_read_noise)), 0.005, 1.0);
+
+    acc.in_sum += arrivals / dt;
+    acc.out_sum += out_total;
+    acc.demand_sum += demand;
+    acc.arrival_demand_sum += arrival_demand;
+    acc.overload_sum += arrival_demand / y_now;
+    acc.util_obs_sum += util_obs;
+    acc.util_true_sum += util_true;
+    // eq. (8): the capacity estimate is only informative under load.
+    if (demand > 0.05 * y_now) {
+      acc.cap_obs_sum += out_total / util_obs;
+      acc.cap_obs_count += 1;
+    }
+    acc.steps += 1;
+  }
+
+  for (std::size_t e = 0; e < edge_rate.size(); ++e) edge_sum_[e] += edge_rate[e];
+  ++processing_steps_;
+  now_s_ += dt;
+}
+
+}  // namespace dragster::streamsim

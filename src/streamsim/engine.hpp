@@ -1,0 +1,208 @@
+// Flink-analogue discrete-time stream-processing simulator.
+//
+// Time advances in 1-second micro-steps grouped into controller slots
+// (default 600 s, the paper's 10-minute adjustment interval).  Within each
+// step every operator:
+//   1. offers its per-in-edge backlog plus fresh arrivals,
+//   2. computes per-out-edge demand through h_{i,j},
+//   3. emits min(alpha_{i,j} * y_i, demand)  (paper eq. 4) where y_i is the
+//      *hidden* ground-truth capacity (USL surface x cloud noise),
+//   4. retains unconsumed input in FIFO buffers (bounded; drops counted).
+//
+// Reconfigurations go through a checkpoint stop-and-resume pause (~30 s)
+// during which nothing is processed — reproducing the paper's periodic
+// throughput dips and its ~5 % processing-time tax.
+//
+// Controllers must interact only through the JobMonitor view (observations:
+// Flink REST + Metrics Server analogue) and the ScalingActuator interface
+// (actions: HPA/VPA analogue); the ground truth stays hidden behind them.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/metrics_server.hpp"
+#include "common/rng.hpp"
+#include "dag/stream_dag.hpp"
+#include "streamsim/capacity_model.hpp"
+#include "streamsim/rate_schedule.hpp"
+
+namespace dragster::streamsim {
+
+struct EngineOptions {
+  double slot_duration_s = 600.0;     ///< controller adjustment interval
+  double micro_step_s = 1.0;          ///< simulation granularity
+  double checkpoint_pause_s = 30.0;   ///< stop-and-resume cost per reconfig
+  double capacity_noise = 0.05;       ///< per-slot multiplicative cloud noise (sigma)
+  double step_noise = 0.02;           ///< per-step capacity jitter (sigma)
+  double cpu_read_noise = 0.02;       ///< relative noise on CPU readings
+  double source_noise = 0.01;         ///< relative noise on offered rates
+  double buffer_limit = 5e7;          ///< per-in-edge buffer bound (tuples)
+  int max_tasks = 10;                 ///< per-operator parallelism bound
+  double sample_interval_s = 60.0;    ///< figure-series sampling period
+  double backpressure_util = 0.95;    ///< avg utilization treated as backpressure
+};
+
+struct OperatorMetrics {
+  double in_rate = 0.0;            ///< avg received tuples/s
+  double out_rate = 0.0;           ///< avg emitted tuples/s
+  double demand_rate = 0.0;        ///< avg unconstrained demand (sum_j h_{i,j}),
+                                   ///< including buffered backlog on offer
+  double arrival_demand_rate = 0.0;///< demand from fresh arrivals only
+  double cpu_utilization = 0.0;    ///< observed (noisy) avg utilization
+  double observed_capacity = 0.0;  ///< paper eq. 8 estimate c_i(t)
+  double backlog_start = 0.0;
+  double backlog_end = 0.0;
+  double dropped = 0.0;            ///< tuples lost to the buffer bound
+  /// Little's-law queueing delay estimate: avg buffered tuples / avg
+  /// consumption rate.  The paper's dynamic-fit bound implies this stays
+  /// bounded ("upper-bounded buffer size results in the low latency").
+  double queue_delay_s = 0.0;
+  int tasks = 1;
+  bool backpressured = false;
+};
+
+struct SlotReport {
+  std::size_t slot_index = 0;
+  double start_seconds = 0.0;
+  double duration_s = 0.0;
+  double pause_s = 0.0;                       ///< checkpoint time inside the slot
+  double tuples_processed = 0.0;              ///< sink arrivals during the slot
+  double throughput_rate = 0.0;               ///< tuples_processed / duration
+  double cost = 0.0;                          ///< $ accrued this slot
+  double cost_rate_per_hour = 0.0;            ///< spend rate during the slot
+  /// End-to-end queueing-latency estimate: the maximum over source->sink
+  /// paths of the summed per-operator queue delays (processing time itself
+  /// is sub-second and ignored).
+  double latency_estimate_s = 0.0;
+  std::vector<OperatorMetrics> per_node;      ///< node-indexed
+  std::vector<double> source_rate;            ///< node-indexed observed offered rates
+  std::vector<double> edge_rate;              ///< edge-indexed avg realized flow (tuples/s)
+  /// (time_seconds, tuples/s) sampled every sample_interval_s — the Fig. 6/7
+  /// series.
+  std::vector<std::pair<double, double>> throughput_series;
+};
+
+/// Action interface controllers use — the HPA analogue.
+class ScalingActuator {
+ public:
+  virtual ~ScalingActuator() = default;
+  virtual void set_tasks(dag::NodeId op, int tasks) = 0;
+  virtual void set_pod_spec(dag::NodeId op, cluster::PodSpec spec) = 0;
+};
+
+class Engine;
+
+/// Read-only observation boundary — the Flink REST API / Metrics Server
+/// analogue.  Controllers get this plus a ScalingActuator, never the Engine.
+class JobMonitor {
+ public:
+  explicit JobMonitor(const Engine& engine) : engine_(engine) {}
+
+  [[nodiscard]] const dag::StreamDag& dag() const;
+  [[nodiscard]] const SlotReport& last_report() const;
+  [[nodiscard]] bool has_report() const;
+  [[nodiscard]] int tasks(dag::NodeId op) const;
+  [[nodiscard]] std::size_t slots_run() const;
+  [[nodiscard]] double total_tuples() const;
+  [[nodiscard]] double total_cost() const;
+  [[nodiscard]] double now_seconds() const;
+  [[nodiscard]] int max_tasks() const;
+  [[nodiscard]] double pod_price_per_hour(dag::NodeId op) const;
+  [[nodiscard]] cluster::PodSpec pod_spec(dag::NodeId op) const;
+
+ private:
+  const Engine& engine_;
+};
+
+class Engine final : public ScalingActuator {
+ public:
+  /// `usl` must contain one entry per operator node.  `schedules` must
+  /// contain one entry per source node.  The DAG must be validated.
+  Engine(dag::StreamDag dag, std::map<dag::NodeId, UslParams> usl,
+         std::map<dag::NodeId, std::unique_ptr<RateSchedule>> schedules,
+         EngineOptions options, std::uint64_t seed,
+         cluster::PricingModel pricing = cluster::PricingModel::standard());
+
+  // -- ScalingActuator ------------------------------------------------------
+  void set_tasks(dag::NodeId op, int tasks) override;
+  void set_pod_spec(dag::NodeId op, cluster::PodSpec spec) override;
+
+  /// Advances one controller slot and returns its report.
+  const SlotReport& run_slot();
+
+  /// Failure injection: crashes one pod of the operator (replicas -1, floor
+  /// one).  Unlike a scaling action there is no checkpoint pause — the task
+  /// is simply gone next slot, as when a node dies under a deployment — and
+  /// controllers only find out through the degraded metrics.
+  void inject_pod_failure(dag::NodeId op);
+
+  // -- observation ----------------------------------------------------------
+  [[nodiscard]] const dag::StreamDag& dag() const noexcept { return dag_; }
+  [[nodiscard]] const SlotReport& last_report() const;
+  [[nodiscard]] bool has_report() const noexcept { return report_.has_value(); }
+  [[nodiscard]] int tasks(dag::NodeId op) const;
+  [[nodiscard]] cluster::PodSpec pod_spec(dag::NodeId op) const;
+  [[nodiscard]] std::size_t slots_run() const noexcept { return slot_index_; }
+  [[nodiscard]] double now_seconds() const noexcept { return now_s_; }
+  [[nodiscard]] double total_tuples() const noexcept { return total_tuples_; }
+  [[nodiscard]] double total_cost() const noexcept { return cluster_.accrued_cost(); }
+  [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
+  [[nodiscard]] JobMonitor monitor() const { return JobMonitor(*this); }
+
+  // -- ground truth (oracle/evaluation only; hidden from controllers) -------
+  [[nodiscard]] double true_capacity(dag::NodeId op, int tasks,
+                                     std::optional<cluster::PodSpec> spec = std::nullopt) const;
+  [[nodiscard]] double offered_rate(dag::NodeId source, double at_seconds) const;
+  [[nodiscard]] const CapacityModel& capacity_model(dag::NodeId op) const;
+
+ private:
+  struct OperatorState {
+    std::unique_ptr<CapacityModel> model;
+    int tasks = 1;
+    cluster::PodSpec spec;
+    std::vector<double> backlog;      // per in-edge
+    double slot_cloud_factor = 1.0;   // resampled each slot
+    bool reconfig_pending = false;
+  };
+
+  struct StepAccum {
+    double in_sum = 0.0;
+    double out_sum = 0.0;
+    double demand_sum = 0.0;
+    double arrival_demand_sum = 0.0;
+    double overload_sum = 0.0;  // arrival demand / capacity, for backpressure
+    double util_obs_sum = 0.0;
+    double util_true_sum = 0.0;
+    double cap_obs_sum = 0.0;
+    std::size_t cap_obs_count = 0;
+    double dropped = 0.0;
+    double offered_sum = 0.0;
+    double backlog_sum = 0.0;   // total buffered tuples, sampled per step
+    double consumed_sum = 0.0;  // tuples consumed from buffers+arrivals
+    std::size_t steps = 0;
+  };
+
+  void micro_step(double dt, std::vector<double>& edge_rate, common::Rng& step_rng);
+
+  dag::StreamDag dag_;
+  EngineOptions options_;
+  cluster::Cluster cluster_;
+  cluster::MetricsServer metrics_;
+  common::Rng root_rng_;
+  std::map<dag::NodeId, OperatorState> ops_;
+  std::map<dag::NodeId, std::unique_ptr<RateSchedule>> schedules_;
+  std::map<dag::NodeId, double> source_pending_;  // tuples parked during pauses
+  std::vector<StepAccum> accum_;                  // node-indexed, per-slot scratch
+  std::vector<double> edge_sum_;                  // edge-indexed, per-slot scratch
+  std::size_t processing_steps_ = 0;              // non-paused steps this slot
+  std::optional<SlotReport> report_;
+  std::size_t slot_index_ = 0;
+  double now_s_ = 0.0;
+  double total_tuples_ = 0.0;
+};
+
+}  // namespace dragster::streamsim

@@ -1,0 +1,63 @@
+// Benchmark application definitions.
+//
+// The paper evaluates 11 applications: five Nexmark-style workloads (Group,
+// AsyncIO, Join with one operator; Window, WordCount with two) each under a
+// low and a high source rate, plus the Yahoo streaming benchmark (six
+// operators, Fig. 3 topology).  Each WorkloadSpec bundles the DAG, the
+// hidden ground-truth capacity surfaces, and the two offered rates; factory
+// helpers instantiate a simulator Engine.
+//
+// Capacity surfaces are chosen so the paper's qualitative structure holds:
+// every operator has diminishing returns; some have retrograde scaling
+// (adding tasks beyond the USL peak *hurts*), which is what the rule-based
+// baseline cannot discover; and under the tight budget the optimal
+// allocation is an unbalanced split the DAG-blind baseline misses.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dag/stream_dag.hpp"
+#include "streamsim/engine.hpp"
+
+namespace dragster::workloads {
+
+struct WorkloadSpec {
+  std::string name;
+  dag::StreamDag dag;  ///< validated
+  std::map<dag::NodeId, streamsim::UslParams> usl;
+  std::map<dag::NodeId, double> high_rate;  ///< per-source offered rate
+  std::map<dag::NodeId, double> low_rate;
+
+  [[nodiscard]] std::size_t operator_count() const { return dag.operators().size(); }
+
+  /// Engine with constant offered rates (high or low).
+  [[nodiscard]] streamsim::Engine make_engine(bool high, streamsim::EngineOptions options,
+                                              std::uint64_t seed) const;
+
+  /// Engine with caller-provided schedules (workload-change experiments).
+  [[nodiscard]] streamsim::Engine make_engine_with(
+      std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules,
+      streamsim::EngineOptions options, std::uint64_t seed) const;
+};
+
+/// Nexmark-style single-operator aggregation (Group).
+[[nodiscard]] WorkloadSpec group();
+/// Nexmark-style async enrichment (AsyncIO) — high contention operator.
+[[nodiscard]] WorkloadSpec asyncio();
+/// Nexmark-style two-stream join — min-weighted throughput function.
+[[nodiscard]] WorkloadSpec join();
+/// Nexmark-style windowed aggregation — two operators.
+[[nodiscard]] WorkloadSpec window();
+/// WordCount (Map -> Shuffle/Count) — the paper's running example.
+[[nodiscard]] WorkloadSpec wordcount();
+/// Yahoo streaming benchmark — six operators per the paper's Fig. 3.
+[[nodiscard]] WorkloadSpec yahoo();
+
+/// The five Nexmark-style workloads in the paper's Fig. 5 order
+/// (sorted by operator count): Group, AsyncIO, Join, Window, WordCount.
+[[nodiscard]] std::vector<WorkloadSpec> nexmark_suite();
+
+}  // namespace dragster::workloads

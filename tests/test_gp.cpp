@@ -1,0 +1,265 @@
+// Tests for kernels, GP posterior math (paper eq. 17), UCB weights, and the
+// acquisition rules including the extended target-tracking UCB (eq. 18).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "common/rng.hpp"
+#include "gp/acquisition.hpp"
+#include "gp/gaussian_process.hpp"
+#include "gp/kernel.hpp"
+
+namespace dragster::gp {
+namespace {
+
+std::unique_ptr<Kernel> se(double variance = 1.0, double lengthscale = 1.0) {
+  return std::make_unique<SquaredExponentialKernel>(variance, std::vector{lengthscale});
+}
+
+TEST(Kernel, SquaredExponentialValues) {
+  SquaredExponentialKernel k(2.0, {1.0});
+  const std::vector<double> x{0.0};
+  const std::vector<double> y{1.0};
+  EXPECT_DOUBLE_EQ(k(x, x), 2.0);
+  EXPECT_NEAR(k(x, y), 2.0 * std::exp(-0.5), 1e-12);
+}
+
+TEST(Kernel, ArdLengthscalesWeightDimensions) {
+  SquaredExponentialKernel k(1.0, {1.0, 10.0});
+  const std::vector<double> x{0.0, 0.0};
+  const std::vector<double> step_dim0{1.0, 0.0};
+  const std::vector<double> step_dim1{0.0, 1.0};
+  EXPECT_LT(k(x, step_dim0), k(x, step_dim1));  // dim 1 is smoother
+}
+
+TEST(Kernel, Matern52AtZeroAndDecay) {
+  Matern52Kernel k(3.0, {2.0});
+  const std::vector<double> x{0.0};
+  EXPECT_DOUBLE_EQ(k(x, x), 3.0);
+  const std::vector<double> far{20.0};
+  EXPECT_LT(k(x, far), 1e-3);
+}
+
+TEST(Kernel, RejectsBadHyperparameters) {
+  EXPECT_THROW(SquaredExponentialKernel(0.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(SquaredExponentialKernel(1.0, {}), std::invalid_argument);
+  EXPECT_THROW(SquaredExponentialKernel(1.0, {-1.0}), std::invalid_argument);
+}
+
+TEST(Gp, PriorBeforeObservations) {
+  GaussianProcess gp(se(4.0), 0.01, 7.0);
+  const Posterior post = gp.predict(std::vector{0.5});
+  EXPECT_DOUBLE_EQ(post.mean, 7.0);
+  EXPECT_DOUBLE_EQ(post.variance, 4.0);
+}
+
+TEST(Gp, InterpolatesObservationWithLowNoise) {
+  GaussianProcess gp(se(), 1e-8);
+  gp.add_observation({1.0}, 3.0);
+  const Posterior post = gp.predict(std::vector{1.0});
+  EXPECT_NEAR(post.mean, 3.0, 1e-4);
+  EXPECT_LT(post.variance, 1e-4);
+}
+
+TEST(Gp, VarianceGrowsAwayFromData) {
+  GaussianProcess gp(se(), 1e-4);
+  gp.add_observation({0.0}, 1.0);
+  const double near = gp.predict(std::vector{0.1}).variance;
+  const double far = gp.predict(std::vector{3.0}).variance;
+  EXPECT_LT(near, far);
+  EXPECT_LE(far, 1.0 + 1e-9);
+}
+
+TEST(Gp, PosteriorMatchesDirectFormula) {
+  // Two observations; compare against a hand-computed eq. (17) posterior.
+  const double noise = 0.01;
+  GaussianProcess gp(se(), noise);
+  gp.add_observation({0.0}, 1.0);
+  gp.add_observation({1.0}, 2.0);
+
+  const double k01 = std::exp(-0.5);
+  // K + s^2 I = [[1+s, k01], [k01, 1+s]]
+  const double a = 1.0 + noise;
+  const double det = a * a - k01 * k01;
+  const std::vector<double> x{0.5};
+  const double kx0 = std::exp(-0.5 * 0.25);
+  const double kx1 = kx0;
+  // alpha = (K+sI)^{-1} y
+  const double alpha0 = (a * 1.0 - k01 * 2.0) / det;
+  const double alpha1 = (-k01 * 1.0 + a * 2.0) / det;
+  const double expected_mean = kx0 * alpha0 + kx1 * alpha1;
+
+  const Posterior post = gp.predict(x);
+  EXPECT_NEAR(post.mean, expected_mean, 1e-10);
+
+  const double q0 = (a * kx0 - k01 * kx1) / det;
+  const double q1 = (-k01 * kx0 + a * kx1) / det;
+  const double expected_var = 1.0 - (kx0 * q0 + kx1 * q1);
+  EXPECT_NEAR(post.variance, expected_var, 1e-10);
+}
+
+TEST(Gp, RecoversSmoothFunctionFromNoisySamples) {
+  common::Rng rng(31);
+  GaussianProcess gp(se(4.0, 1.5), 0.01);
+  auto truth = [](double x) { return 2.0 * std::sin(x); };
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(0.0, 6.0);
+    gp.add_observation({x}, truth(x) + rng.normal(0.0, 0.1));
+  }
+  for (double x = 0.5; x < 6.0; x += 0.7)
+    EXPECT_NEAR(gp.predict(std::vector{x}).mean, truth(x), 0.3) << "at x=" << x;
+}
+
+TEST(Gp, CopyIsIndependent) {
+  GaussianProcess gp(se(), 0.01);
+  gp.add_observation({0.0}, 1.0);
+  GaussianProcess copy = gp;
+  copy.add_observation({1.0}, 5.0);
+  EXPECT_EQ(gp.num_observations(), 1u);
+  EXPECT_EQ(copy.num_observations(), 2u);
+  EXPECT_NE(gp.predict(std::vector{1.0}).mean, copy.predict(std::vector{1.0}).mean);
+}
+
+TEST(Gp, ResetClearsObservations) {
+  GaussianProcess gp(se(), 0.01, 3.0);
+  gp.add_observation({0.0}, 10.0);
+  gp.reset();
+  EXPECT_EQ(gp.num_observations(), 0u);
+  EXPECT_DOUBLE_EQ(gp.predict(std::vector{0.0}).mean, 3.0);
+}
+
+TEST(Gp, LogMarginalLikelihoodPrefersTruth) {
+  // Data drawn near-constant: a GP with matching prior mean should have a
+  // higher marginal likelihood than one with a wildly wrong mean.
+  common::Rng rng(77);
+  GaussianProcess good(se(1.0, 1.0), 0.1, 5.0);
+  GaussianProcess bad(se(1.0, 1.0), 0.1, -50.0);
+  for (int i = 0; i < 10; ++i) {
+    const double x = rng.uniform(0.0, 4.0);
+    const double y = 5.0 + rng.normal(0.0, 0.1);
+    good.add_observation({x}, y);
+    bad.add_observation({x}, y);
+  }
+  EXPECT_GT(good.log_marginal_likelihood(), bad.log_marginal_likelihood());
+}
+
+TEST(Gp, RejectsDimensionMismatch) {
+  GaussianProcess gp(se(), 0.01);
+  EXPECT_THROW(gp.add_observation({1.0, 2.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(gp.predict(std::vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Gp, IncrementalManyObservationsStayStable) {
+  common::Rng rng(13);
+  GaussianProcess gp(se(1.0, 2.0), 0.05);
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i % 10);
+    gp.add_observation({x}, std::sin(x) + rng.normal(0.0, 0.2));
+  }
+  const Posterior post = gp.predict(std::vector{4.0});
+  EXPECT_TRUE(std::isfinite(post.mean));
+  EXPECT_NEAR(post.mean, std::sin(4.0), 0.25);
+  EXPECT_LT(post.variance, 0.05);
+}
+
+TEST(UcbBeta, MatchesPaperFormula) {
+  const std::size_t cands = 100;
+  const double delta = 2.0;
+  const double expected =
+      2.0 * std::log(100.0 * 9.0 * std::numbers::pi * std::numbers::pi * delta / 6.0);  // t = 3
+  EXPECT_NEAR(ucb_beta(cands, 3, delta), expected, 1e-9);
+}
+
+TEST(UcbBeta, GrowsWithTimeAndCandidates) {
+  EXPECT_LT(ucb_beta(10, 2, 2.0), ucb_beta(10, 20, 2.0));
+  EXPECT_LT(ucb_beta(10, 5, 2.0), ucb_beta(1000, 5, 2.0));
+}
+
+TEST(UcbBeta, RejectsPaperInvalidDelta) {
+  EXPECT_THROW(ucb_beta(10, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Acquisition, ClassicUcbPicksHighMeanWhenNoUncertainty) {
+  GaussianProcess gp(se(), 1e-6);
+  gp.add_observation({1.0}, 1.0);
+  gp.add_observation({2.0}, 5.0);
+  gp.add_observation({3.0}, 3.0);
+  const std::vector<Candidate> cands{{1.0}, {2.0}, {3.0}};
+  const auto result = select_ucb(gp, cands, 0.01);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->index, 1u);
+}
+
+TEST(Acquisition, ClassicUcbExploresWithLargeBeta) {
+  GaussianProcess gp(se(), 1e-6);
+  gp.add_observation({1.0}, 5.0);
+  const std::vector<Candidate> cands{{1.0}, {10.0}};  // far point unexplored
+  const auto result = select_ucb(gp, cands, 100.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->index, 1u);
+}
+
+TEST(Acquisition, TargetTrackingPrefersClosestToTarget) {
+  GaussianProcess gp(se(1.0, 0.5), 1e-6);
+  gp.add_observation({1.0}, 2.0);
+  gp.add_observation({2.0}, 4.0);
+  gp.add_observation({3.0}, 9.0);
+  const std::vector<Candidate> cands{{1.0}, {2.0}, {3.0}};
+  const auto result = select_target_tracking_ucb(gp, cands, /*target=*/4.2, /*beta=*/0.01);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->index, 1u);  // "just enough capacity", not the maximum
+}
+
+TEST(Acquisition, FeasibilityFilterSkipsCandidates) {
+  GaussianProcess gp(se(), 1e-6);
+  gp.add_observation({1.0}, 1.0);
+  gp.add_observation({2.0}, 10.0);
+  const std::vector<Candidate> cands{{1.0}, {2.0}};
+  const auto result =
+      select_ucb(gp, cands, 0.0, [](const Candidate& c) { return c[0] < 1.5; });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->index, 0u);
+}
+
+TEST(Acquisition, AllInfeasibleReturnsNullopt) {
+  GaussianProcess gp(se(), 1e-6);
+  gp.add_observation({1.0}, 1.0);
+  const std::vector<Candidate> cands{{1.0}};
+  const auto result = select_ucb(gp, cands, 0.0, [](const Candidate&) { return false; });
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Acquisition, IntegerGridEnumeratesFully) {
+  const auto grid = integer_grid(2, 1, 3);
+  EXPECT_EQ(grid.size(), 9u);
+  // Every pair present exactly once.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& c : grid) seen.emplace(static_cast<int>(c[0]), static_cast<int>(c[1]));
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(InformationGain, AccumulatesAndBoundsPosteriorVariance) {
+  // Theory check (eq. 24): sum of posterior variances at the sampled points
+  // is bounded by 2 * Gamma_T / log(1 + 1/sigma^2) with Gamma_T >= the
+  // empirical gain.  We verify the empirical inequality directly.
+  const double noise = 0.04;
+  GaussianProcess gp(se(), noise);
+  InformationGainMeter meter(noise);
+  common::Rng rng(3);
+  double var_sum = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    const double x = rng.uniform(0.0, 5.0);
+    const double v = gp.predict(std::vector{x}).variance;
+    meter.record(v);
+    var_sum += v;
+    gp.add_observation({x}, rng.normal());
+  }
+  const double bound = 2.0 * meter.gain() / std::log(1.0 + 1.0 / noise);
+  EXPECT_LE(var_sum, bound + 1e-9);
+  EXPECT_EQ(meter.rounds(), 50u);
+}
+
+}  // namespace
+}  // namespace dragster::gp

