@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vertical.dir/ablation_vertical.cpp.o"
+  "CMakeFiles/ablation_vertical.dir/ablation_vertical.cpp.o.d"
+  "ablation_vertical"
+  "ablation_vertical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vertical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

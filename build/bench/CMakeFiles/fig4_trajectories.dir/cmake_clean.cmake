@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_trajectories.dir/fig4_trajectories.cpp.o"
+  "CMakeFiles/fig4_trajectories.dir/fig4_trajectories.cpp.o.d"
+  "fig4_trajectories"
+  "fig4_trajectories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

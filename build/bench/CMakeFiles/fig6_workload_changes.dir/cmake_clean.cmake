@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_workload_changes.dir/fig6_workload_changes.cpp.o"
+  "CMakeFiles/fig6_workload_changes.dir/fig6_workload_changes.cpp.o.d"
+  "fig6_workload_changes"
+  "fig6_workload_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_workload_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

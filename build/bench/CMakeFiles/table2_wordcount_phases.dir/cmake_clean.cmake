@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_wordcount_phases.dir/table2_wordcount_phases.cpp.o"
+  "CMakeFiles/table2_wordcount_phases.dir/table2_wordcount_phases.cpp.o.d"
+  "table2_wordcount_phases"
+  "table2_wordcount_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_wordcount_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/theory_regret_fit.cpp" "bench/CMakeFiles/theory_regret_fit.dir/theory_regret_fit.cpp.o" "gcc" "bench/CMakeFiles/theory_regret_fit.dir/theory_regret_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/dragster_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dragster_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dragster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dragster_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamsim/CMakeFiles/dragster_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/dragster_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/dragster_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dragster_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/dragster_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dragster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dragster_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dragster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

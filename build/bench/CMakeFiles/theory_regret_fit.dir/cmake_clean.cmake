@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_regret_fit.dir/theory_regret_fit.cpp.o"
+  "CMakeFiles/theory_regret_fit.dir/theory_regret_fit.cpp.o.d"
+  "theory_regret_fit"
+  "theory_regret_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_regret_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_autoscale.dir/wordcount_autoscale.cpp.o"
+  "CMakeFiles/wordcount_autoscale.dir/wordcount_autoscale.cpp.o.d"
+  "wordcount_autoscale"
+  "wordcount_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

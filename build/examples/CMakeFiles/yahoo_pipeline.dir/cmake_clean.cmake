@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yahoo_pipeline.dir/yahoo_pipeline.cpp.o"
+  "CMakeFiles/yahoo_pipeline.dir/yahoo_pipeline.cpp.o.d"
+  "yahoo_pipeline"
+  "yahoo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yahoo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

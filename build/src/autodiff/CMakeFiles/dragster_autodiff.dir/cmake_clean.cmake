@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_autodiff.dir/tape.cpp.o"
+  "CMakeFiles/dragster_autodiff.dir/tape.cpp.o.d"
+  "libdragster_autodiff.a"
+  "libdragster_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

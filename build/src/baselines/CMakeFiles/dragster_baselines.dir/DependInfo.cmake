@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dhalion.cpp" "src/baselines/CMakeFiles/dragster_baselines.dir/dhalion.cpp.o" "gcc" "src/baselines/CMakeFiles/dragster_baselines.dir/dhalion.cpp.o.d"
+  "/root/repo/src/baselines/ds2.cpp" "src/baselines/CMakeFiles/dragster_baselines.dir/ds2.cpp.o" "gcc" "src/baselines/CMakeFiles/dragster_baselines.dir/ds2.cpp.o.d"
+  "/root/repo/src/baselines/flat_gp_ucb.cpp" "src/baselines/CMakeFiles/dragster_baselines.dir/flat_gp_ucb.cpp.o" "gcc" "src/baselines/CMakeFiles/dragster_baselines.dir/flat_gp_ucb.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/baselines/CMakeFiles/dragster_baselines.dir/oracle.cpp.o" "gcc" "src/baselines/CMakeFiles/dragster_baselines.dir/oracle.cpp.o.d"
+  "/root/repo/src/baselines/static_controller.cpp" "src/baselines/CMakeFiles/dragster_baselines.dir/static_controller.cpp.o" "gcc" "src/baselines/CMakeFiles/dragster_baselines.dir/static_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dragster_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/dragster_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/online/CMakeFiles/dragster_online.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamsim/CMakeFiles/dragster_streamsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dragster_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dragster_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dragster_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/dragster_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dragster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

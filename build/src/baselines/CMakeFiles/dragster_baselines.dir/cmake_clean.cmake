@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_baselines.dir/dhalion.cpp.o"
+  "CMakeFiles/dragster_baselines.dir/dhalion.cpp.o.d"
+  "CMakeFiles/dragster_baselines.dir/ds2.cpp.o"
+  "CMakeFiles/dragster_baselines.dir/ds2.cpp.o.d"
+  "CMakeFiles/dragster_baselines.dir/flat_gp_ucb.cpp.o"
+  "CMakeFiles/dragster_baselines.dir/flat_gp_ucb.cpp.o.d"
+  "CMakeFiles/dragster_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/dragster_baselines.dir/oracle.cpp.o.d"
+  "CMakeFiles/dragster_baselines.dir/static_controller.cpp.o"
+  "CMakeFiles/dragster_baselines.dir/static_controller.cpp.o.d"
+  "libdragster_baselines.a"
+  "libdragster_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/dragster_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/dragster_cluster.dir/metrics_server.cpp.o"
+  "CMakeFiles/dragster_cluster.dir/metrics_server.cpp.o.d"
+  "CMakeFiles/dragster_cluster.dir/pricing.cpp.o"
+  "CMakeFiles/dragster_cluster.dir/pricing.cpp.o.d"
+  "libdragster_cluster.a"
+  "libdragster_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

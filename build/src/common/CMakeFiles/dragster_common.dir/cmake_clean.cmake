@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_common.dir/csv.cpp.o"
+  "CMakeFiles/dragster_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dragster_common.dir/flags.cpp.o"
+  "CMakeFiles/dragster_common.dir/flags.cpp.o.d"
+  "CMakeFiles/dragster_common.dir/logging.cpp.o"
+  "CMakeFiles/dragster_common.dir/logging.cpp.o.d"
+  "CMakeFiles/dragster_common.dir/rng.cpp.o"
+  "CMakeFiles/dragster_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dragster_common.dir/stats.cpp.o"
+  "CMakeFiles/dragster_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dragster_common.dir/table.cpp.o"
+  "CMakeFiles/dragster_common.dir/table.cpp.o.d"
+  "libdragster_common.a"
+  "libdragster_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

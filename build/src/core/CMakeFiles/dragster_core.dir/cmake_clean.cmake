@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_core.dir/dragster_controller.cpp.o"
+  "CMakeFiles/dragster_core.dir/dragster_controller.cpp.o.d"
+  "CMakeFiles/dragster_core.dir/throughput_learner.cpp.o"
+  "CMakeFiles/dragster_core.dir/throughput_learner.cpp.o.d"
+  "libdragster_core.a"
+  "libdragster_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

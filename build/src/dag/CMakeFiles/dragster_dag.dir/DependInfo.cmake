@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/flow_solver.cpp" "src/dag/CMakeFiles/dragster_dag.dir/flow_solver.cpp.o" "gcc" "src/dag/CMakeFiles/dragster_dag.dir/flow_solver.cpp.o.d"
+  "/root/repo/src/dag/stream_dag.cpp" "src/dag/CMakeFiles/dragster_dag.dir/stream_dag.cpp.o" "gcc" "src/dag/CMakeFiles/dragster_dag.dir/stream_dag.cpp.o.d"
+  "/root/repo/src/dag/throughput_fn.cpp" "src/dag/CMakeFiles/dragster_dag.dir/throughput_fn.cpp.o" "gcc" "src/dag/CMakeFiles/dragster_dag.dir/throughput_fn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autodiff/CMakeFiles/dragster_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dragster_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

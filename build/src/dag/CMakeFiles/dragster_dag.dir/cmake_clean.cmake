@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_dag.dir/flow_solver.cpp.o"
+  "CMakeFiles/dragster_dag.dir/flow_solver.cpp.o.d"
+  "CMakeFiles/dragster_dag.dir/stream_dag.cpp.o"
+  "CMakeFiles/dragster_dag.dir/stream_dag.cpp.o.d"
+  "CMakeFiles/dragster_dag.dir/throughput_fn.cpp.o"
+  "CMakeFiles/dragster_dag.dir/throughput_fn.cpp.o.d"
+  "libdragster_dag.a"
+  "libdragster_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_experiments.dir/scenario.cpp.o"
+  "CMakeFiles/dragster_experiments.dir/scenario.cpp.o.d"
+  "libdragster_experiments.a"
+  "libdragster_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_gp.dir/acquisition.cpp.o"
+  "CMakeFiles/dragster_gp.dir/acquisition.cpp.o.d"
+  "CMakeFiles/dragster_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/dragster_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/dragster_gp.dir/kernel.cpp.o"
+  "CMakeFiles/dragster_gp.dir/kernel.cpp.o.d"
+  "libdragster_gp.a"
+  "libdragster_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

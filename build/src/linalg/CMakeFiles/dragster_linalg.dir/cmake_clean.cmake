@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/dragster_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/dragster_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/dragster_linalg.dir/matrix.cpp.o.d"
+  "libdragster_linalg.a"
+  "libdragster_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/online/budget.cpp" "src/online/CMakeFiles/dragster_online.dir/budget.cpp.o" "gcc" "src/online/CMakeFiles/dragster_online.dir/budget.cpp.o.d"
+  "/root/repo/src/online/dual_state.cpp" "src/online/CMakeFiles/dragster_online.dir/dual_state.cpp.o" "gcc" "src/online/CMakeFiles/dragster_online.dir/dual_state.cpp.o.d"
+  "/root/repo/src/online/meters.cpp" "src/online/CMakeFiles/dragster_online.dir/meters.cpp.o" "gcc" "src/online/CMakeFiles/dragster_online.dir/meters.cpp.o.d"
+  "/root/repo/src/online/ogd.cpp" "src/online/CMakeFiles/dragster_online.dir/ogd.cpp.o" "gcc" "src/online/CMakeFiles/dragster_online.dir/ogd.cpp.o.d"
+  "/root/repo/src/online/saddle_point.cpp" "src/online/CMakeFiles/dragster_online.dir/saddle_point.cpp.o" "gcc" "src/online/CMakeFiles/dragster_online.dir/saddle_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/dragster_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dragster_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/dragster_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

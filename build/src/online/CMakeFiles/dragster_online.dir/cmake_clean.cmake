@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_online.dir/budget.cpp.o"
+  "CMakeFiles/dragster_online.dir/budget.cpp.o.d"
+  "CMakeFiles/dragster_online.dir/dual_state.cpp.o"
+  "CMakeFiles/dragster_online.dir/dual_state.cpp.o.d"
+  "CMakeFiles/dragster_online.dir/meters.cpp.o"
+  "CMakeFiles/dragster_online.dir/meters.cpp.o.d"
+  "CMakeFiles/dragster_online.dir/ogd.cpp.o"
+  "CMakeFiles/dragster_online.dir/ogd.cpp.o.d"
+  "CMakeFiles/dragster_online.dir/saddle_point.cpp.o"
+  "CMakeFiles/dragster_online.dir/saddle_point.cpp.o.d"
+  "libdragster_online.a"
+  "libdragster_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streamsim/capacity_model.cpp" "src/streamsim/CMakeFiles/dragster_streamsim.dir/capacity_model.cpp.o" "gcc" "src/streamsim/CMakeFiles/dragster_streamsim.dir/capacity_model.cpp.o.d"
+  "/root/repo/src/streamsim/engine.cpp" "src/streamsim/CMakeFiles/dragster_streamsim.dir/engine.cpp.o" "gcc" "src/streamsim/CMakeFiles/dragster_streamsim.dir/engine.cpp.o.d"
+  "/root/repo/src/streamsim/rate_schedule.cpp" "src/streamsim/CMakeFiles/dragster_streamsim.dir/rate_schedule.cpp.o" "gcc" "src/streamsim/CMakeFiles/dragster_streamsim.dir/rate_schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/dragster_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dragster_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dragster_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/autodiff/CMakeFiles/dragster_autodiff.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_streamsim.dir/capacity_model.cpp.o"
+  "CMakeFiles/dragster_streamsim.dir/capacity_model.cpp.o.d"
+  "CMakeFiles/dragster_streamsim.dir/engine.cpp.o"
+  "CMakeFiles/dragster_streamsim.dir/engine.cpp.o.d"
+  "CMakeFiles/dragster_streamsim.dir/rate_schedule.cpp.o"
+  "CMakeFiles/dragster_streamsim.dir/rate_schedule.cpp.o.d"
+  "libdragster_streamsim.a"
+  "libdragster_streamsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_streamsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragster_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/dragster_workloads.dir/workloads.cpp.o.d"
+  "libdragster_workloads.a"
+  "libdragster_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragster_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

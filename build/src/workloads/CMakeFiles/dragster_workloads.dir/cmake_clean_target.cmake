@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdragster_workloads.a"
+)

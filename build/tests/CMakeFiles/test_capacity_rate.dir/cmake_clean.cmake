@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacity_rate.dir/test_capacity_rate.cpp.o"
+  "CMakeFiles/test_capacity_rate.dir/test_capacity_rate.cpp.o.d"
+  "test_capacity_rate"
+  "test_capacity_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacity_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow_solver.dir/test_flow_solver.cpp.o"
+  "CMakeFiles/test_flow_solver.dir/test_flow_solver.cpp.o.d"
+  "test_flow_solver"
+  "test_flow_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
