@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/dhalion.hpp"
+#include "baselines/ds2.hpp"
 #include "common/flags.hpp"
 #include "common/table.hpp"
 #include "core/dragster_controller.hpp"
@@ -24,6 +25,11 @@ inline std::unique_ptr<core::Controller> make_scheme(const std::string& name,
     baselines::DhalionOptions options;
     options.budget = budget;
     return std::make_unique<baselines::DhalionController>(options);
+  }
+  if (name == "DS2") {
+    baselines::Ds2Options options;
+    options.budget = budget;
+    return std::make_unique<baselines::Ds2Controller>(options);
   }
   core::DragsterOptions options;
   options.budget = budget;

@@ -3,9 +3,9 @@
 // poking at the system without writing code.
 //
 //   ./simulate --workload wordcount --scheme saddle --slots 30
-//   ./simulate --workload yahoo --scheme dhalion --schedule step \
+//   ./simulate --workload yahoo --scheme dhalion --schedule step
 //              --step-at 300 --seed 7 --csv out.csv
-//   ./simulate --workload join --scheme bo4co --schedule alternating \
+//   ./simulate --workload join --scheme bo4co --schedule alternating
 //              --period 100 --budget 1.2
 //
 // Flags:

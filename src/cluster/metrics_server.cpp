@@ -12,25 +12,36 @@ MetricsServer::MetricsServer(std::size_t window) : window_(window) {
 
 void MetricsServer::record_cpu(const std::string& deployment, double utilization) {
   DRAGSTER_REQUIRE(utilization >= 0.0, "utilization cannot be negative");
-  auto& queue = samples_[deployment];
-  queue.push_back(std::min(utilization, 1.0));
-  while (queue.size() > window_) queue.pop_front();
+  Series& series = series_[deployment];
+  series.samples.push_back(std::min(utilization, 1.0));
+  while (series.samples.size() > window_) series.samples.pop_front();
+  series.stale_scrapes = 0;
 }
 
 double MetricsServer::cpu_utilization(const std::string& deployment, double fallback) const {
-  const auto it = samples_.find(deployment);
-  if (it == samples_.end() || it->second.empty()) return fallback;
+  const auto it = series_.find(deployment);
+  if (it == series_.end() || it->second.samples.empty()) return fallback;
   double sum = 0.0;
-  for (double value : it->second) sum += value;
-  return sum / static_cast<double>(it->second.size());
+  for (double value : it->second.samples) sum += value;
+  return sum / static_cast<double>(it->second.samples.size());
 }
 
 double MetricsServer::latest_cpu(const std::string& deployment, double fallback) const {
-  const auto it = samples_.find(deployment);
-  if (it == samples_.end() || it->second.empty()) return fallback;
-  return it->second.back();
+  const auto it = series_.find(deployment);
+  if (it == series_.end() || it->second.samples.empty()) return fallback;
+  return it->second.samples.back();
 }
 
-void MetricsServer::clear() { samples_.clear(); }
+void MetricsServer::skip_scrape(const std::string& deployment) {
+  ++series_[deployment].stale_scrapes;
+}
+
+std::size_t MetricsServer::staleness(const std::string& deployment) const {
+  const auto it = series_.find(deployment);
+  if (it == series_.end() || it->second.samples.empty()) return never_scraped;
+  return it->second.stale_scrapes;
+}
+
+void MetricsServer::clear() { series_.clear(); }
 
 }  // namespace dragster::cluster

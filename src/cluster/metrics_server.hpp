@@ -27,11 +27,26 @@ class MetricsServer {
   /// Most recent sample (the "current" reading); `fallback` if none.
   [[nodiscard]] double latest_cpu(const std::string& deployment, double fallback = 0.0) const;
 
+  /// Records a scrape interval that produced no fresh sample (metric outage):
+  /// the window keeps returning the old samples, increasingly stale.
+  void skip_scrape(const std::string& deployment);
+
+  /// Scrape intervals since the last fresh sample: 0 = fresh, and a
+  /// deployment never scraped reports `never_scraped` (effectively infinite
+  /// staleness).
+  [[nodiscard]] std::size_t staleness(const std::string& deployment) const;
+
+  static constexpr std::size_t never_scraped = static_cast<std::size_t>(-1);
+
   void clear();
 
  private:
+  struct Series {
+    std::deque<double> samples;
+    std::size_t stale_scrapes = 0;
+  };
   std::size_t window_;
-  std::map<std::string, std::deque<double>> samples_;
+  std::map<std::string, Series> series_;
 };
 
 }  // namespace dragster::cluster

@@ -38,7 +38,19 @@ void DragsterController::initialize(const streamsim::JobMonitor& monitor,
   y_est_.assign(n, 0.0);
   y_target_.assign(n, 0.0);
   demand_est_.assign(n, 0.0);
+  commanded_tasks_.clear();
+  commanded_spec_.clear();
+  for (dag::NodeId id : dag_->operators()) {
+    commanded_tasks_[id] = monitor.tasks(id);
+    commanded_spec_[id] = monitor.pod_spec(id);
+  }
   slot_ = 0;
+}
+
+int DragsterController::commanded_tasks(dag::NodeId op) const {
+  const auto it = commanded_tasks_.find(op);
+  DRAGSTER_REQUIRE(it != commanded_tasks_.end(), "commanded_tasks() on a non-operator node");
+  return it->second;
 }
 
 const std::vector<double>& DragsterController::lambda() const {
@@ -65,7 +77,14 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
     std::vector<double> deployed{static_cast<double>(m.tasks)};
     if (options_.enable_vertical) deployed.push_back(monitor.pod_spec(id).cpu_cores);
 
-    if (m.observed_capacity > 0.0) {
+    // Observations taken while a fault or metric outage was active are
+    // poisoned: the capacity sample reflects the fault, not the
+    // configuration, and one such point skews the posterior the acquisition
+    // trusts.  Reject them outright (the engine flags them the way a job
+    // manager reports restarting tasks / missing metrics).
+    const bool trustworthy = !m.fault_tainted && !m.metrics_stale;
+
+    if (trustworthy && m.observed_capacity > 0.0) {
       if (!model.gp.has_value()) {
         // First estimate fixes the normalization scale and the GP prior.
         model.scale = m.observed_capacity;
@@ -85,10 +104,12 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
     }
 
     // Capacity estimate: GP posterior at the deployed configuration
-    // (smoother than the raw per-slot sample), else the raw sample.
+    // (smoother than the raw per-slot sample), else the raw sample.  During
+    // a fault window the posterior still reflects the healthy surface, so
+    // the targets keep tracking what the configuration *should* deliver.
     if (model.gp.has_value()) {
       y_est_[id] = model.gp->predict(deployed).mean * model.scale;
-    } else if (m.observed_capacity > 0.0) {
+    } else if (trustworthy && m.observed_capacity > 0.0) {
       y_est_[id] = m.observed_capacity;
     } else {
       y_est_[id] = std::max(y_est_[id], 1.0);
@@ -102,7 +123,10 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
     std::unique_ptr<bool[]> saturated(new bool[n]());
     for (dag::NodeId id = 0; id < n; ++id) {
       if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
-      saturated[id] = report.per_node[id].backpressured;
+      // Fault-tainted slots are excluded the same way capacity-truncated
+      // ones are: their edge flows say nothing about h.
+      const streamsim::OperatorMetrics& m = report.per_node[id];
+      saturated[id] = m.backpressured || m.fault_tainted || m.metrics_stale;
     }
     learner_->observe(*dag_, report.edge_rate, std::span<const bool>(saturated.get(), n));
     learner_->apply(*dag_);
@@ -275,6 +299,22 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
       planned[id] = new_tasks;
       planned_spec[id] = new_spec;
     }
+    commanded_tasks_[id] = new_tasks;
+    commanded_spec_[id] = new_spec;
+  }
+}
+
+void DragsterController::repair_lost_pods(const streamsim::JobMonitor& monitor,
+                                          streamsim::ScalingActuator& actuator) {
+  // A deployment running below what we last commanded means pods died (or a
+  // checkpoint aborted a reconfiguration) — the capacity drop is damage, not
+  // information.  Re-issue the last target instead of letting the slot-two
+  // loop chase the crashed configuration; the tainted observation was
+  // already rejected, so the GP posterior is unaffected.
+  for (const auto& [id, tasks] : commanded_tasks_) {
+    if (monitor.tasks(id) != tasks) actuator.set_tasks(id, tasks);
+    const cluster::PodSpec spec = commanded_spec_.at(id);
+    if (!(monitor.pod_spec(id) == spec)) actuator.set_pod_spec(id, spec);
   }
 }
 
@@ -284,6 +324,7 @@ void DragsterController::on_slot(const streamsim::JobMonitor& monitor,
   ++slot_;
   observe(monitor);
   y_target_ = compute_targets(monitor);
+  repair_lost_pods(monitor, actuator);
   select_configs(monitor, actuator);
 }
 

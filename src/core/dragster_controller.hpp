@@ -93,6 +93,8 @@ class DragsterController final : public Controller {
   [[nodiscard]] const std::vector<double>& lambda() const;
   [[nodiscard]] const gp::GaussianProcess* gp_for(dag::NodeId op) const;
   [[nodiscard]] const dag::StreamDag& planning_dag() const { return *dag_; }
+  /// Last configuration this controller issued (crash-repair reference).
+  [[nodiscard]] int commanded_tasks(dag::NodeId op) const;
 
  private:
   struct OperatorModel {
@@ -104,6 +106,8 @@ class DragsterController final : public Controller {
   [[nodiscard]] std::vector<double> compute_targets(const streamsim::JobMonitor& monitor);
   void select_configs(const streamsim::JobMonitor& monitor,
                       streamsim::ScalingActuator& actuator);
+  void repair_lost_pods(const streamsim::JobMonitor& monitor,
+                        streamsim::ScalingActuator& actuator);
 
   DragsterOptions options_;
   std::unique_ptr<dag::StreamDag> dag_;          ///< planning copy (learner may mutate)
@@ -115,6 +119,11 @@ class DragsterController final : public Controller {
   std::vector<double> y_target_;    ///< node-indexed targets y_t
   std::vector<double> demand_est_;  ///< node-indexed demand estimates
   std::vector<dag::NodeId> bottlenecks_;
+  /// Configuration as last issued through the actuator.  When the deployed
+  /// state drifts from it (pod crash, aborted checkpoint) the controller
+  /// re-issues it rather than re-planning around the damaged deployment.
+  std::map<dag::NodeId, int> commanded_tasks_;
+  std::map<dag::NodeId, cluster::PodSpec> commanded_spec_;
   std::size_t slot_ = 0;
 };
 

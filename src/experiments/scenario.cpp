@@ -9,7 +9,8 @@
 namespace dragster::experiments {
 
 RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
-                       const ScenarioOptions& options, const std::string& workload_name) {
+                       const ScenarioOptions& options, const std::string& workload_name,
+                       faults::FaultInjector* injector) {
   RunResult result;
   result.controller = controller.name();
   result.workload = workload_name;
@@ -36,6 +37,7 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
   };
 
   for (std::size_t t = 0; t < options.slots; ++t) {
+    if (injector != nullptr) injector->before_slot(engine);
     const streamsim::SlotReport& report = engine.run_slot();
     controller.on_slot(monitor, engine);
 
@@ -57,12 +59,31 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
     summary.oracle_throughput = oracle_for(report.start_seconds + 0.5 * report.duration_s);
     summary.near_optimal =
         summary.effective_rate >= options.near_optimal_threshold * summary.oracle_throughput;
+    summary.checkpoint_retries = report.checkpoint_retries;
+    summary.checkpoint_aborted = report.checkpoint_aborted;
+    for (dag::NodeId id : operators)
+      summary.fault_active = summary.fault_active || report.per_node[id].fault_tainted ||
+                             report.per_node[id].metrics_stale;
 
     result.total_tuples += summary.tuples;
     result.total_cost += summary.cost;
     result.slots.push_back(std::move(summary));
     result.series.insert(result.series.end(), report.throughput_series.begin(),
                          report.throughput_series.end());
+  }
+
+  // Recovery analytics: score each applied fault against the same
+  // oracle-normalized throughput the convergence analytics use.  Full-slot
+  // throughput (not pause-excluded) so checkpoint retries show up as loss.
+  if (injector != nullptr) {
+    result.fault_timeline = injector->applied();
+    std::vector<faults::RecoverySlotData> series;
+    series.reserve(result.slots.size());
+    for (const SlotSummary& slot : result.slots)
+      series.push_back({slot.throughput_rate, slot.oracle_throughput});
+    result.recoveries = faults::analyze_recovery(result.fault_timeline, series,
+                                                 engine.options().slot_duration_s,
+                                                 options.recovery);
   }
   return result;
 }

@@ -13,6 +13,8 @@
 
 #include "baselines/oracle.hpp"
 #include "core/controller.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/recovery.hpp"
 #include "online/budget.hpp"
 #include "streamsim/engine.hpp"
 
@@ -31,6 +33,9 @@ struct SlotSummary {
   std::vector<int> tasks;         ///< per operator, in dag.operators() order
   double oracle_throughput = 0.0; ///< offline optimum for this slot's load
   bool near_optimal = false;      ///< effective_rate >= threshold * oracle
+  bool fault_active = false;      ///< any operator fault-tainted/stale this slot
+  int checkpoint_retries = 0;     ///< failed checkpoint attempts this slot
+  bool checkpoint_aborted = false;
 };
 
 struct RunResult {
@@ -41,20 +46,29 @@ struct RunResult {
   std::vector<std::pair<double, double>> series;
   double total_tuples = 0.0;
   double total_cost = 0.0;
+  /// Chaos runs: every fault the injector applied, in firing order, plus
+  /// per-fault recovery analytics (slots-to-recover, tuples lost).  Empty
+  /// for fault-free runs.
+  std::vector<faults::AppliedFault> fault_timeline;
+  std::vector<faults::RecoveryStats> recoveries;
 };
 
 struct ScenarioOptions {
   std::size_t slots = 30;
   online::Budget budget = online::Budget::unlimited(0.10);
   double near_optimal_threshold = 0.90;  ///< the paper's "within 10%"
+  faults::RecoveryOptions recovery;      ///< scoring of injected faults
 };
 
 /// Runs `controller` on `engine` for the configured number of slots.
 /// The oracle is re-evaluated whenever the offered load changes (cached per
-/// distinct rate vector).
+/// distinct rate vector).  With an `injector`, its fault plan is applied at
+/// each slot boundary and the result carries the applied timeline plus
+/// recovery analytics scored against the oracle-normalized throughput.
 [[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                      const ScenarioOptions& options,
-                                     const std::string& workload_name = "");
+                                     const std::string& workload_name = "",
+                                     faults::FaultInjector* injector = nullptr);
 
 /// First slot index in [from, to) that starts `persistence` consecutive
 /// near-optimal slots AND from which at least 75% of the window's remaining

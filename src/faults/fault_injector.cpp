@@ -1,0 +1,87 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dragster::faults {
+
+namespace {
+
+dag::NodeId resolve(const streamsim::Engine& engine, const std::string& name) {
+  const auto id = engine.dag().find(name);
+  DRAGSTER_REQUIRE(id.has_value(), "fault plan names unknown operator '" + name + "'");
+  DRAGSTER_REQUIRE(engine.dag().component(*id).kind == dag::ComponentKind::kOperator,
+                   "fault target '" + name + "' is not an operator");
+  return *id;
+}
+
+/// One task out of `tasks` running at relative rate `f` scales the
+/// operator's aggregate capacity by (tasks - 1 + f) / tasks.
+double straggler_factor(int tasks, double f) {
+  return (static_cast<double>(tasks) - 1.0 + f) / static_cast<double>(tasks);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+void FaultInjector::before_slot(streamsim::Engine& engine) {
+  const std::size_t slot = engine.slots_run();
+
+  // Close expired windows first so a back-to-back event can re-open them.
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->end_slot <= slot) {
+      if (it->kind == FaultKind::kStraggler) engine.set_capacity_degradation(it->op, 1.0);
+      if (it->kind == FaultKind::kMetricDropout) engine.set_metric_dropout(it->op, false);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Fire events due this slot.
+  for (; next_event_ < plan_.events().size() && plan_.events()[next_event_].slot <= slot;
+       ++next_event_) {
+    const FaultEvent& event = plan_.events()[next_event_];
+    if (event.slot < slot) continue;  // missed (plan started mid-run); skip
+    AppliedFault record{event, 0, slot};
+    switch (event.kind) {
+      case FaultKind::kPodCrash:
+        record.op = resolve(engine, event.op);
+        for (int pod = 0; pod < static_cast<int>(event.value); ++pod)
+          engine.inject_pod_failure(record.op);
+        break;
+      case FaultKind::kStraggler:
+        record.op = resolve(engine, event.op);
+        active_.push_back(
+            {FaultKind::kStraggler, record.op, slot + event.duration_slots, event.value});
+        break;
+      case FaultKind::kCheckpointFailure:
+        engine.arm_checkpoint_failure(static_cast<int>(event.value));
+        break;
+      case FaultKind::kMetricDropout:
+        record.op = resolve(engine, event.op);
+        engine.set_metric_dropout(record.op, true);
+        active_.push_back(
+            {FaultKind::kMetricDropout, record.op, slot + event.duration_slots, 0.0});
+        break;
+    }
+    applied_.push_back(std::move(record));
+  }
+
+  // Re-assert straggler degradation with the *current* task count: the
+  // controller may have re-scaled mid-window, and the one-slow-task factor
+  // depends on how many healthy peers dilute it.
+  for (const ActiveWindow& window : active_) {
+    if (window.kind != FaultKind::kStraggler) continue;
+    engine.set_capacity_degradation(
+        window.op, straggler_factor(engine.tasks(window.op), window.value));
+  }
+}
+
+bool FaultInjector::exhausted() const noexcept {
+  return next_event_ >= plan_.events().size() && active_.empty();
+}
+
+}  // namespace dragster::faults

@@ -1,0 +1,172 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dragster::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPodCrash: return "crash";
+    case FaultKind::kStraggler: return "straggler";
+    case FaultKind::kCheckpointFailure: return "ckptfail";
+    case FaultKind::kMetricDropout: return "dropout";
+  }
+  return "unknown";
+}
+
+namespace {
+
+FaultKind kind_from_string(const std::string& word) {
+  if (word == "crash") return FaultKind::kPodCrash;
+  if (word == "straggler") return FaultKind::kStraggler;
+  if (word == "ckptfail") return FaultKind::kCheckpointFailure;
+  if (word == "dropout") return FaultKind::kMetricDropout;
+  DRAGSTER_REQUIRE(false, "unknown fault kind '" + word + "'");
+}
+
+void check_event(FaultEvent& event) {
+  DRAGSTER_REQUIRE(event.duration_slots >= 1, "fault duration must be at least one slot");
+  switch (event.kind) {
+    case FaultKind::kPodCrash:
+      if (event.value == 0.0) event.value = 1.0;  // default: one pod
+      DRAGSTER_REQUIRE(event.value >= 1.0, "crash needs at least one pod");
+      DRAGSTER_REQUIRE(!event.op.empty(), "crash needs a target operator");
+      break;
+    case FaultKind::kMetricDropout:
+      DRAGSTER_REQUIRE(!event.op.empty(), "dropout needs a target operator");
+      break;
+    case FaultKind::kStraggler:
+      DRAGSTER_REQUIRE(!event.op.empty(), "straggler needs a target operator");
+      DRAGSTER_REQUIRE(event.value > 0.0 && event.value < 1.0,
+                       "straggler factor must be in (0, 1)");
+      break;
+    case FaultKind::kCheckpointFailure:
+      DRAGSTER_REQUIRE(event.value >= 1.0, "ckptfail needs at least one failed attempt");
+      break;
+  }
+}
+
+/// Parses a non-negative number starting at `pos`; advances `pos`.
+double parse_number(const std::string& text, std::size_t& pos) {
+  const std::size_t start = pos;
+  while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+                               text[pos] == '.'))
+    ++pos;
+  DRAGSTER_REQUIRE(pos > start, "expected a number in fault spec '" + text + "'");
+  return std::stod(text.substr(start, pos - start));
+}
+
+FaultEvent parse_event(const std::string& text) {
+  FaultEvent event;
+  const std::size_t at = text.find('@');
+  DRAGSTER_REQUIRE(at != std::string::npos, "fault event '" + text + "' is missing '@slot'");
+  event.kind = kind_from_string(text.substr(0, at));
+  // Defaults chosen so the short forms read naturally.
+  if (event.kind == FaultKind::kStraggler) event.value = 0.25;
+  if (event.kind == FaultKind::kCheckpointFailure) event.value = 1.0;
+
+  std::size_t pos = at + 1;
+  event.slot = static_cast<std::size_t>(parse_number(text, pos));
+  while (pos < text.size()) {
+    const char tag = text[pos++];
+    if (tag == '+') {
+      event.duration_slots = static_cast<std::size_t>(parse_number(text, pos));
+    } else if (tag == '*') {
+      event.value = parse_number(text, pos);
+    } else if (tag == ':') {
+      event.op = text.substr(pos);
+      pos = text.size();
+      DRAGSTER_REQUIRE(!event.op.empty(), "empty operator name in '" + text + "'");
+    } else {
+      DRAGSTER_REQUIRE(false, std::string("unexpected '") + tag + "' in fault event '" +
+                                  text + "'");
+    }
+  }
+  check_event(event);
+  return event;
+}
+
+}  // namespace
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream oss;
+  oss << faults::to_string(kind) << '@' << slot;
+  if (duration_slots != 1) oss << '+' << duration_slots;
+  if (kind == FaultKind::kStraggler || kind == FaultKind::kCheckpointFailure ||
+      (kind == FaultKind::kPodCrash && value != 1.0)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    oss << '*' << buf;
+  }
+  if (!op.empty()) oss << ':' << op;
+  return oss.str();
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events) : events_(std::move(events)) {
+  for (FaultEvent& event : events_) check_event(event);
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.slot < b.slot; });
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::vector<FaultEvent> events;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string piece = spec.substr(start, end - start);
+    if (!piece.empty()) events.push_back(parse_event(piece));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return FaultPlan(std::move(events));
+}
+
+FaultPlan FaultPlan::sample(common::Rng& rng, const SampleOptions& options) {
+  DRAGSTER_REQUIRE(!options.operators.empty(), "sample() needs candidate operators");
+  DRAGSTER_REQUIRE(options.warmup_slots <= options.horizon_slots, "warmup exceeds horizon");
+  DRAGSTER_REQUIRE(options.straggler_factor > 0.0 && options.straggler_factor < 1.0,
+                   "straggler factor must be in (0, 1)");
+  DRAGSTER_REQUIRE(options.max_window_slots >= 1, "window must be at least one slot");
+
+  auto pick_op = [&]() -> const std::string& {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(options.operators.size()) - 1));
+    return options.operators[index];
+  };
+  auto pick_window = [&]() {
+    return static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(options.max_window_slots)));
+  };
+
+  std::vector<FaultEvent> events;
+  for (std::size_t slot = options.warmup_slots; slot < options.horizon_slots; ++slot) {
+    if (rng.bernoulli(options.crash_prob))
+      events.push_back({FaultKind::kPodCrash, slot, 1, 0.0, pick_op()});
+    if (rng.bernoulli(options.straggler_prob))
+      events.push_back(
+          {FaultKind::kStraggler, slot, pick_window(), options.straggler_factor, pick_op()});
+    if (rng.bernoulli(options.ckptfail_prob))
+      events.push_back({FaultKind::kCheckpointFailure, slot, 1,
+                        static_cast<double>(options.ckpt_retries), ""});
+    if (rng.bernoulli(options.dropout_prob))
+      events.push_back({FaultKind::kMetricDropout, slot, pick_window(), 0.0, pick_op()});
+  }
+  return FaultPlan(std::move(events));
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultEvent& event : events_) {
+    if (!out.empty()) out += ';';
+    out += event.to_string();
+  }
+  return out;
+}
+
+}  // namespace dragster::faults

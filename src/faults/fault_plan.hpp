@@ -1,0 +1,83 @@
+// Declarative fault timelines for chaos experiments.
+//
+// The paper evaluates Dragster only under benign cloud noise; real
+// Flink-on-Kubernetes deployments additionally see pod crashes, straggler
+// tasks, failed checkpoints, and metric outages.  A FaultPlan is an ordered
+// list of such events on the controller-slot timeline, parsed from a compact
+// spec string so bench/example binaries can take chaos scenarios from flags:
+//
+//   spec   := event (';' event)*
+//   event  := kind '@' slot ['+' duration] ['*' value] [':' operator]
+//   kind   := 'crash' | 'straggler' | 'ckptfail' | 'dropout'
+//
+//   crash@20:shuffle_count          one pod of shuffle_count dies at slot 20
+//   crash@20*2:shuffle_count        two pods die at once
+//   straggler@30+2*0.3:map          one map task runs at 30% rate, 2 slots
+//   ckptfail@40*2                   the next checkpoint fails twice (backoff)
+//   dropout@48+3:shuffle_count      metrics stale/absent for 3 slots
+//
+// Plans may also be sampled from the seeded common::Rng (FaultPlan::sample)
+// so randomized chaos runs stay reproducible bit-for-bit from one uint64.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dragster::faults {
+
+enum class FaultKind { kPodCrash, kStraggler, kCheckpointFailure, kMetricDropout };
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kPodCrash;
+  std::size_t slot = 0;            ///< slot index at which the fault begins
+  std::size_t duration_slots = 1;  ///< straggler/dropout window length
+  /// Pod crash: pods to kill (>= 1; 0 is normalized to 1).
+  /// Straggler: the slowed task's relative rate in (0, 1).
+  /// Checkpoint failure: number of failed attempts before success (>= 1).
+  double value = 0.0;
+  std::string op;                  ///< operator name; empty for ckptfail
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::vector<FaultEvent> events);
+
+  /// Parses the spec grammar above; throws std::invalid_argument on
+  /// malformed events, unknown kinds, or out-of-range values.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Randomized chaos: each slot in [warmup, horizon) draws each fault kind
+  /// independently.  All sampling flows through the provided seeded stream.
+  struct SampleOptions {
+    std::size_t horizon_slots = 60;
+    std::size_t warmup_slots = 12;        ///< no faults while the GP warms up
+    double crash_prob = 0.03;             ///< per slot, per kind
+    double straggler_prob = 0.02;
+    double ckptfail_prob = 0.02;
+    double dropout_prob = 0.02;
+    std::size_t max_window_slots = 3;     ///< straggler/dropout durations in [1, max]
+    double straggler_factor = 0.3;
+    int ckpt_retries = 2;
+    std::vector<std::string> operators;   ///< candidate target names (non-empty)
+  };
+  [[nodiscard]] static FaultPlan sample(common::Rng& rng, const SampleOptions& options);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Round-trips through parse(): to_string() output is a valid spec.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by slot (stable)
+};
+
+}  // namespace dragster::faults

@@ -1,0 +1,62 @@
+#include "faults/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dragster::faults {
+
+namespace {
+
+double ratio_at(std::span<const RecoverySlotData> slots, std::size_t index) {
+  const RecoverySlotData& s = slots[index];
+  return s.oracle_rate > 1e-9 ? s.achieved_rate / s.oracle_rate : 1.0;
+}
+
+}  // namespace
+
+std::vector<RecoveryStats> analyze_recovery(std::span<const AppliedFault> timeline,
+                                            std::span<const RecoverySlotData> slots,
+                                            double slot_seconds,
+                                            const RecoveryOptions& options) {
+  DRAGSTER_REQUIRE(slot_seconds > 0.0, "slot duration must be positive");
+  DRAGSTER_REQUIRE(options.recovery_fraction > 0.0 && options.recovery_fraction <= 1.0,
+                   "recovery fraction must be in (0, 1]");
+
+  std::vector<RecoveryStats> stats;
+  stats.reserve(timeline.size());
+  for (const AppliedFault& fault : timeline) {
+    RecoveryStats entry;
+    entry.fault = fault;
+    if (fault.slot >= slots.size()) {  // fired past the recorded horizon
+      stats.push_back(std::move(entry));
+      continue;
+    }
+
+    // Pre-fault level: mean ratio over up to baseline_slots slots before the
+    // fault; a fault on the very first slot is scored against the oracle.
+    const std::size_t window = std::min<std::size_t>(options.baseline_slots, fault.slot);
+    if (window == 0) {
+      entry.pre_fault_ratio = 1.0;
+    } else {
+      double sum = 0.0;
+      for (std::size_t i = fault.slot - window; i < fault.slot; ++i) sum += ratio_at(slots, i);
+      entry.pre_fault_ratio = sum / static_cast<double>(window);
+    }
+
+    const double bar = options.recovery_fraction * entry.pre_fault_ratio;
+    for (std::size_t i = fault.slot; i < slots.size(); ++i) {
+      const double ratio = ratio_at(slots, i);
+      if (ratio >= bar) {
+        entry.slots_to_recover = i - fault.slot;
+        break;
+      }
+      entry.tuples_lost +=
+          std::max(0.0, entry.pre_fault_ratio - ratio) * slots[i].oracle_rate * slot_seconds;
+    }
+    stats.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+}  // namespace dragster::faults

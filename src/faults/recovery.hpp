@@ -1,0 +1,46 @@
+// Recovery analytics over a fault timeline.
+//
+// Scores how a controller rode out each injected fault using the same
+// oracle-normalized throughput the convergence analytics use: for every
+// applied fault we take the mean achieved/oracle ratio over the slots just
+// before it as the pre-fault level, then scan forward for the first slot
+// back above `recovery_fraction` of that level.  Tuples lost are integrated
+// against the pre-fault level over the degraded span, so a fault that never
+// dents throughput costs zero.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "faults/fault_injector.hpp"
+
+namespace dragster::faults {
+
+/// Per-slot throughput pair (harness-agnostic: any achieved/oracle series).
+struct RecoverySlotData {
+  double achieved_rate = 0.0;  ///< tuples/s the controller actually processed
+  double oracle_rate = 0.0;    ///< offline-optimal tuples/s for that slot's load
+};
+
+struct RecoveryStats {
+  AppliedFault fault;
+  double pre_fault_ratio = 0.0;  ///< mean achieved/oracle before the fault
+  /// Slots from the fault's start until the ratio is back above
+  /// recovery_fraction * pre_fault_ratio; 0 means the fault slot itself
+  /// stayed above the bar (no visible impact); nullopt = never recovered
+  /// within the run.
+  std::optional<std::size_t> slots_to_recover;
+  double tuples_lost = 0.0;      ///< integral of the dip vs. the pre-fault level
+};
+
+struct RecoveryOptions {
+  double recovery_fraction = 0.90;   ///< the paper's "within 10%" bar
+  std::size_t baseline_slots = 3;    ///< pre-fault averaging window
+};
+
+[[nodiscard]] std::vector<RecoveryStats> analyze_recovery(
+    std::span<const AppliedFault> timeline, std::span<const RecoverySlotData> slots,
+    double slot_seconds, const RecoveryOptions& options = {});
+
+}  // namespace dragster::faults

@@ -72,6 +72,10 @@ void Engine::set_tasks(dag::NodeId op, int new_tasks) {
   DRAGSTER_REQUIRE(new_tasks >= 1 && new_tasks <= options_.max_tasks,
                    "task count outside [1, max_tasks]");
   if (it->second.tasks == new_tasks) return;
+  if (!it->second.reconfig_pending) {  // first change this slot: rollback point
+    it->second.prev_tasks = it->second.tasks;
+    it->second.prev_spec = it->second.spec;
+  }
   it->second.tasks = new_tasks;
   it->second.reconfig_pending = true;
   cluster_.scale_replicas(dag_.component(op).name, new_tasks);
@@ -81,6 +85,10 @@ void Engine::set_pod_spec(dag::NodeId op, cluster::PodSpec spec) {
   auto it = ops_.find(op);
   DRAGSTER_REQUIRE(it != ops_.end(), "set_pod_spec on a non-operator node");
   if (it->second.spec == spec) return;
+  if (!it->second.reconfig_pending) {
+    it->second.prev_tasks = it->second.tasks;
+    it->second.prev_spec = it->second.spec;
+  }
   it->second.spec = spec;
   it->second.reconfig_pending = true;
   cluster_.resize_pods(dag_.component(op).name, spec);
@@ -89,10 +97,29 @@ void Engine::set_pod_spec(dag::NodeId op, cluster::PodSpec spec) {
 void Engine::inject_pod_failure(dag::NodeId op) {
   auto it = ops_.find(op);
   DRAGSTER_REQUIRE(it != ops_.end(), "inject_pod_failure on a non-operator node");
-  if (it->second.tasks <= 1) return;  // last pod: Kubernetes would reschedule
+  it->second.crashed_this_slot = true;  // restart churn taints the slot either way
+  if (it->second.tasks <= 1) return;    // last pod: Kubernetes would reschedule
   it->second.tasks -= 1;
   // No reconfig_pending: crashes do not checkpoint.
   cluster_.scale_replicas(dag_.component(op).name, it->second.tasks);
+}
+
+void Engine::set_capacity_degradation(dag::NodeId op, double factor) {
+  auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "set_capacity_degradation on a non-operator node");
+  DRAGSTER_REQUIRE(factor > 0.0 && factor <= 1.0, "degradation factor must be in (0, 1]");
+  it->second.degradation = factor;
+}
+
+void Engine::arm_checkpoint_failure(int retries) {
+  DRAGSTER_REQUIRE(retries >= 1, "checkpoint failure needs at least one failed attempt");
+  armed_checkpoint_retries_ = retries;
+}
+
+void Engine::set_metric_dropout(dag::NodeId op, bool active) {
+  auto it = ops_.find(op);
+  DRAGSTER_REQUIRE(it != ops_.end(), "set_metric_dropout on a non-operator node");
+  it->second.metrics_down = active;
 }
 
 const SlotReport& Engine::last_report() const {
@@ -148,15 +175,44 @@ const SlotReport& Engine::run_slot() {
 
   // Resample cloud noise and decide whether a checkpoint pause is due.
   bool reconfigured = false;
+  std::vector<dag::NodeId> reconfiguring;
   for (auto& [id, state] : ops_) {
     common::Rng cloud = slot_rng.substream("cloud", id);
     state.slot_cloud_factor = std::clamp(cloud.normal(1.0, options_.capacity_noise), 0.7, 1.3);
     if (state.reconfig_pending) {
       reconfigured = true;
+      reconfiguring.push_back(id);
       state.reconfig_pending = false;
     }
   }
   report.pause_s = reconfigured ? options_.checkpoint_pause_s : 0.0;
+
+  // Armed checkpoint failure: each failed attempt repeats the stop-and-resume
+  // pause with exponential backoff; past the abort cap the reconfiguration is
+  // rolled back (Flink declines the new execution graph) and the time spent
+  // retrying is still lost.
+  if (reconfigured && armed_checkpoint_retries_ > 0) {
+    report.checkpoint_retries = armed_checkpoint_retries_;
+    double extended = 0.0;
+    for (int k = 0; k <= armed_checkpoint_retries_; ++k)
+      extended += options_.checkpoint_pause_s * std::pow(options_.checkpoint_backoff, k);
+    const double abort_cap = options_.checkpoint_abort_fraction * options_.slot_duration_s;
+    if (extended > abort_cap) {
+      report.checkpoint_aborted = true;
+      for (dag::NodeId id : reconfiguring) {
+        OperatorState& state = ops_.at(id);
+        state.tasks = state.prev_tasks;
+        state.spec = state.prev_spec;
+        cluster_.scale_replicas(dag_.component(id).name, state.tasks);
+        cluster_.resize_pods(dag_.component(id).name, state.spec);
+      }
+      report.cost_rate_per_hour = cluster_.cost_rate_per_hour();
+      report.pause_s = abort_cap;
+    } else {
+      report.pause_s = extended;
+    }
+    armed_checkpoint_retries_ = 0;
+  }
 
   accum_.assign(dag_.node_count(), StepAccum{});
   for (auto& [id, state] : ops_) {
@@ -253,7 +309,20 @@ const SlotReport& Engine::run_slot() {
         accum_[id].steps > 0 ? accum_[id].overload_sum / static_cast<double>(accum_[id].steps)
                              : 0.0;
     m.backpressured = avg_overload > options_.backpressure_util;
-    metrics_.record_cpu(dag_.component(id).name, m.cpu_utilization);
+
+    // Metric outage: no fresh scrape reaches the Metrics Server; controllers
+    // see the last published (stale) CPU reading and no capacity estimate.
+    const std::string& name = dag_.component(id).name;
+    if (state.metrics_down) {
+      m.metrics_stale = true;
+      m.cpu_utilization = metrics_.latest_cpu(name, 0.0);
+      m.observed_capacity = 0.0;
+      metrics_.skip_scrape(name);
+    } else {
+      metrics_.record_cpu(name, m.cpu_utilization);
+    }
+    m.fault_tainted = state.crashed_this_slot || state.degradation < 1.0 || state.metrics_down;
+    state.crashed_this_slot = false;
   }
 
   if (processing_steps_ > 0) {
@@ -323,7 +392,7 @@ void Engine::micro_step(double dt, std::vector<double>& edge_rate, common::Rng& 
       arrivals += edge_rate[in_edges[k]];
     }
 
-    const double y_true = state.model->capacity(state.tasks, state.spec);
+    const double y_true = state.model->capacity(state.tasks, state.spec) * state.degradation;
     const double y_now = std::max(
         1.0, y_true * state.slot_cloud_factor * (1.0 + step_rng.normal(0.0, options_.step_noise)));
 

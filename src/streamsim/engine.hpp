@@ -44,6 +44,11 @@ struct EngineOptions {
   int max_tasks = 10;                 ///< per-operator parallelism bound
   double sample_interval_s = 60.0;    ///< figure-series sampling period
   double backpressure_util = 0.95;    ///< avg utilization treated as backpressure
+  /// Failed checkpoint attempt k costs checkpoint_pause_s * backoff^k; once
+  /// the retry chain would eat more than abort_fraction of the slot, the
+  /// reconfiguration is aborted instead (configs revert, the time is lost).
+  double checkpoint_backoff = 2.0;
+  double checkpoint_abort_fraction = 0.5;
 };
 
 struct OperatorMetrics {
@@ -63,6 +68,15 @@ struct OperatorMetrics {
   double queue_delay_s = 0.0;
   int tasks = 1;
   bool backpressured = false;
+  /// Set when an injected fault (crash, straggler, metric outage) was active
+  /// on this operator during the slot — the analogue of the job manager
+  /// reporting a restarting/unhealthy task.  Learners must not trust this
+  /// slot's capacity estimate.
+  bool fault_tainted = false;
+  /// Set when the Metrics Server had no fresh samples for this operator this
+  /// slot: cpu_utilization is the last published (stale) reading and
+  /// observed_capacity is absent (0).
+  bool metrics_stale = false;
 };
 
 struct SlotReport {
@@ -78,6 +92,12 @@ struct SlotReport {
   /// paths of the summed per-operator queue delays (processing time itself
   /// is sub-second and ignored).
   double latency_estimate_s = 0.0;
+  /// Failed checkpoint attempts before this slot's reconfiguration took (or
+  /// was abandoned); 0 on a clean checkpoint.
+  int checkpoint_retries = 0;
+  /// True when the retry chain exceeded the abort cap: the reconfiguration
+  /// was rolled back and the slot ran on the previous configuration.
+  bool checkpoint_aborted = false;
   std::vector<OperatorMetrics> per_node;      ///< node-indexed
   std::vector<double> source_rate;            ///< node-indexed observed offered rates
   std::vector<double> edge_rate;              ///< edge-indexed avg realized flow (tuples/s)
@@ -134,11 +154,30 @@ class Engine final : public ScalingActuator {
   /// Advances one controller slot and returns its report.
   const SlotReport& run_slot();
 
+  // -- fault-injection seams (src/faults drives these) ----------------------
+
   /// Failure injection: crashes one pod of the operator (replicas -1, floor
   /// one).  Unlike a scaling action there is no checkpoint pause — the task
   /// is simply gone next slot, as when a node dies under a deployment — and
-  /// controllers only find out through the degraded metrics.
+  /// controllers only find out through the degraded metrics.  Capacity stays
+  /// at the surviving tasks' level until an actuator call re-provisions.
   void inject_pod_failure(dag::NodeId op);
+
+  /// Straggler seam: multiplies the operator's hidden capacity by `factor`
+  /// in (0, 1] until reset to 1.0.  Slots with factor < 1 are reported
+  /// fault-tainted.
+  void set_capacity_degradation(dag::NodeId op, double factor);
+
+  /// Arms a checkpoint failure: the next reconfiguration's checkpoint fails
+  /// `retries` times, each retry backing off by options().checkpoint_backoff;
+  /// past checkpoint_abort_fraction of the slot the reconfiguration aborts
+  /// and the previous configuration is restored.
+  void arm_checkpoint_failure(int retries);
+
+  /// Metric outage seam: while active the Metrics Server receives no fresh
+  /// samples for the operator and the slot report carries stale CPU plus no
+  /// capacity estimate (metrics_stale / fault_tainted are set).
+  void set_metric_dropout(dag::NodeId op, bool active);
 
   // -- observation ----------------------------------------------------------
   [[nodiscard]] const dag::StreamDag& dag() const noexcept { return dag_; }
@@ -167,6 +206,11 @@ class Engine final : public ScalingActuator {
     std::vector<double> backlog;      // per in-edge
     double slot_cloud_factor = 1.0;   // resampled each slot
     bool reconfig_pending = false;
+    int prev_tasks = 1;               // rollback target for aborted checkpoints
+    cluster::PodSpec prev_spec;
+    double degradation = 1.0;         // straggler seam; 1 = healthy
+    bool metrics_down = false;        // metric-dropout seam
+    bool crashed_this_slot = false;   // set by inject_pod_failure, slot-scoped
   };
 
   struct StepAccum {
@@ -200,6 +244,7 @@ class Engine final : public ScalingActuator {
   std::vector<double> edge_sum_;                  // edge-indexed, per-slot scratch
   std::size_t processing_steps_ = 0;              // non-paused steps this slot
   std::optional<SlotReport> report_;
+  int armed_checkpoint_retries_ = 0;              // fault seam; consumed by next reconfig
   std::size_t slot_index_ = 0;
   double now_s_ = 0.0;
   double total_tuples_ = 0.0;

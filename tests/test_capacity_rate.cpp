@@ -84,7 +84,7 @@ TEST(CapacityModel, RejectsInvalidParams) {
   neg.contention = -0.1;
   EXPECT_THROW(CapacityModel{neg}, std::invalid_argument);
   CapacityModel ok{UslParams{}};
-  EXPECT_THROW(ok.capacity(0), std::invalid_argument);
+  EXPECT_THROW((void)ok.capacity(0), std::invalid_argument);
 }
 
 class UslMonotoneBeforePeak : public ::testing::TestWithParam<double> {};

@@ -89,5 +89,51 @@ TEST(MetricsServer, FallbackAndClamping) {
   EXPECT_DOUBLE_EQ(metrics.cpu_utilization("op", 0.5), 0.5);
 }
 
+TEST(MetricsServer, StalenessCountsMissedScrapes) {
+  MetricsServer metrics;
+  EXPECT_EQ(metrics.staleness("op"), MetricsServer::never_scraped);
+  metrics.record_cpu("op", 0.5);
+  EXPECT_EQ(metrics.staleness("op"), 0u);
+  metrics.skip_scrape("op");
+  metrics.skip_scrape("op");
+  EXPECT_EQ(metrics.staleness("op"), 2u);
+  // The window still serves the last good samples during the outage.
+  EXPECT_DOUBLE_EQ(metrics.latest_cpu("op"), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.cpu_utilization("op"), 0.5);
+  // A fresh sample ends the outage.
+  metrics.record_cpu("op", 0.7);
+  EXPECT_EQ(metrics.staleness("op"), 0u);
+  EXPECT_DOUBLE_EQ(metrics.latest_cpu("op"), 0.7);
+}
+
+TEST(MetricsServer, SkipScrapeOnUnknownDeploymentStaysUnscraped) {
+  MetricsServer metrics;
+  metrics.skip_scrape("ghost");  // outage before any sample: still "never"
+  EXPECT_EQ(metrics.staleness("ghost"), MetricsServer::never_scraped);
+  EXPECT_DOUBLE_EQ(metrics.cpu_utilization("ghost", 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(metrics.latest_cpu("ghost", 0.75), 0.75);
+}
+
+TEST(MetricsServer, ClearResetsStaleness) {
+  MetricsServer metrics;
+  metrics.record_cpu("op", 0.5);
+  metrics.skip_scrape("op");
+  metrics.clear();
+  EXPECT_EQ(metrics.staleness("op"), MetricsServer::never_scraped);
+}
+
+TEST(MetricsServer, WindowEvictionIsPerDeployment) {
+  MetricsServer metrics(2);
+  metrics.record_cpu("a", 0.1);
+  metrics.record_cpu("a", 0.3);
+  metrics.record_cpu("a", 0.5);  // evicts 0.1
+  metrics.record_cpu("b", 0.9);
+  EXPECT_NEAR(metrics.cpu_utilization("a"), 0.4, 1e-12);
+  EXPECT_NEAR(metrics.cpu_utilization("b"), 0.9, 1e-12);
+  metrics.skip_scrape("a");
+  EXPECT_EQ(metrics.staleness("a"), 1u);
+  EXPECT_EQ(metrics.staleness("b"), 0u);
+}
+
 }  // namespace
 }  // namespace dragster::cluster

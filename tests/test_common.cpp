@@ -142,8 +142,8 @@ TEST(Percentile, InterpolatesLinearly) {
 
 TEST(Percentile, RejectsEmptyAndBadQuantile) {
   const std::vector<double> values{1.0};
-  EXPECT_THROW(percentile(std::span<const double>{}, 0.5), std::invalid_argument);
-  EXPECT_THROW(percentile(values, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile(std::span<const double>{}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile(values, 1.5), std::invalid_argument);
 }
 
 TEST(Ewma, ConvergesToConstant) {

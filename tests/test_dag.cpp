@@ -89,7 +89,7 @@ TEST(ThroughputFn, CustomEvaluatesBothWays) {
 
 TEST(ThroughputFn, ArityMismatchThrows) {
   LinearFn fn({1.0, 2.0});
-  EXPECT_THROW(fn.eval(std::vector{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)fn.eval(std::vector{1.0}), std::invalid_argument);
 }
 
 TEST(ThroughputFn, RejectsNegativeWeights) {

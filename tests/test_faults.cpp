@@ -1,0 +1,369 @@
+// Fault-injection subsystem tests: plan parsing/sampling, each injector
+// seam (crash, straggler, checkpoint failure + backoff, metric dropout),
+// recovery analytics, and the controller-side hardening (tainted
+// observations never reach the GP; crashed pods are re-commanded).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/dragster_controller.hpp"
+#include "experiments/scenario.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/recovery.hpp"
+#include "streamsim/engine.hpp"
+
+namespace dragster::faults {
+namespace {
+
+// Source(rate) -> worker -> sink with a linear USL surface and no noise, so
+// capacity observations are exact and fault effects are attributable.
+struct ChaosSim {
+  dag::NodeId src, op, sink;
+  std::unique_ptr<streamsim::Engine> engine;
+
+  explicit ChaosSim(double rate, int tasks = 1, std::uint64_t seed = 1,
+                    streamsim::EngineOptions options = fast_options()) {
+    dag::StreamDag dag;
+    src = dag.add_source("src");
+    op = dag.add_operator("worker");
+    sink = dag.add_sink("sink");
+    dag.add_edge(src, op, dag::identity_fn());
+    dag.add_edge(op, sink, dag::identity_fn());
+    dag.validate();
+    streamsim::UslParams usl;
+    usl.per_task_rate = 1000.0;
+    usl.contention = 0.0;
+    usl.coherence = 0.0;
+    std::map<dag::NodeId, streamsim::UslParams> usl_map{{op, usl}};
+    std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
+    schedules[src] = std::make_unique<streamsim::ConstantRate>(rate);
+    engine = std::make_unique<streamsim::Engine>(std::move(dag), std::move(usl_map),
+                                                 std::move(schedules), options, seed);
+    if (tasks != 1) {
+      engine->set_tasks(op, tasks);
+      engine->run_slot();  // absorb the initial reconfiguration pause
+    }
+  }
+
+  static streamsim::EngineOptions fast_options() {
+    streamsim::EngineOptions o;
+    o.slot_duration_s = 120.0;
+    o.checkpoint_pause_s = 10.0;
+    o.capacity_noise = 0.0;
+    o.step_noise = 0.0;
+    o.cpu_read_noise = 0.0;
+    o.source_noise = 0.0;
+    return o;
+  }
+
+  [[nodiscard]] const streamsim::OperatorMetrics& metrics() const {
+    return engine->last_report().per_node[op];
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FaultPlan: grammar, validation, sampling.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlan, ParsesCanonicalSpec) {
+  const FaultPlan plan = FaultPlan::parse(
+      "crash@20*2:shuffle;straggler@28+2*0.3:map;ckptfail@36*2;dropout@44+3:shuffle");
+  ASSERT_EQ(plan.size(), 4u);
+
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kPodCrash);
+  EXPECT_EQ(plan.events()[0].slot, 20u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].value, 2.0);
+  EXPECT_EQ(plan.events()[0].op, "shuffle");
+
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kStraggler);
+  EXPECT_EQ(plan.events()[1].duration_slots, 2u);
+  EXPECT_DOUBLE_EQ(plan.events()[1].value, 0.3);
+  EXPECT_EQ(plan.events()[1].op, "map");
+
+  EXPECT_EQ(plan.events()[2].kind, FaultKind::kCheckpointFailure);
+  EXPECT_DOUBLE_EQ(plan.events()[2].value, 2.0);
+  EXPECT_TRUE(plan.events()[2].op.empty());
+
+  EXPECT_EQ(plan.events()[3].kind, FaultKind::kMetricDropout);
+  EXPECT_EQ(plan.events()[3].duration_slots, 3u);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const char* spec =
+      "crash@5:map;straggler@8+2*0.25:map;crash@12*3:shuffle;ckptfail@15*2;dropout@20+4:map";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  EXPECT_EQ(plan.to_string(), spec);
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, SortsEventsBySlot) {
+  const FaultPlan plan = FaultPlan::parse("dropout@30+2:map;crash@10:map;ckptfail@20");
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].slot, 10u);
+  EXPECT_EQ(plan.events()[1].slot, 20u);
+  EXPECT_EQ(plan.events()[2].slot, 30u);
+}
+
+TEST(FaultPlan, NormalizesCrashPodCount) {
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("crash@3:w").events()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("crash@3*2:w").events()[0].value, 2.0);
+  // Programmatic construction with the default value gets the same default.
+  const FaultPlan plan({{FaultKind::kPodCrash, 3, 1, 0.0, "w"}});
+  EXPECT_DOUBLE_EQ(plan.events()[0].value, 1.0);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)FaultPlan::parse("meteor@3:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("crash:w"), std::invalid_argument);        // no @slot
+  EXPECT_THROW((void)FaultPlan::parse("crash@3"), std::invalid_argument);        // no op
+  EXPECT_THROW((void)FaultPlan::parse("crash@3:"), std::invalid_argument);       // empty op
+  EXPECT_THROW((void)FaultPlan::parse("straggler@3*1.5:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("straggler@3+0*0.5:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("crash@3#w"), std::invalid_argument);      // bad tag
+}
+
+TEST(FaultPlan, SampleIsDeterministicAndRespectsWarmup) {
+  FaultPlan::SampleOptions options;
+  options.horizon_slots = 80;
+  options.warmup_slots = 10;
+  options.crash_prob = 0.2;  // dense enough to draw several events
+  options.operators = {"map", "shuffle"};
+
+  common::Rng a(42), b(42), c(43);
+  const FaultPlan pa = FaultPlan::sample(a, options);
+  const FaultPlan pb = FaultPlan::sample(b, options);
+  const FaultPlan pc = FaultPlan::sample(c, options);
+  EXPECT_EQ(pa.to_string(), pb.to_string());
+  EXPECT_NE(pa.to_string(), pc.to_string());
+  ASSERT_FALSE(pa.empty());
+  for (const FaultEvent& event : pa.events()) EXPECT_GE(event.slot, 10u);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: each seam, observed through the engine's slot reports.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, CrashKillsPodsAndTaintsSlot) {
+  ChaosSim sim(1500.0, /*tasks=*/4);
+  FaultInjector injector(FaultPlan::parse("crash@2*2:worker"));
+
+  injector.before_slot(*sim.engine);  // slot 1 (slot 0 consumed by setup)
+  sim.engine->run_slot();
+  EXPECT_EQ(sim.metrics().tasks, 4);
+  EXPECT_FALSE(sim.metrics().fault_tainted);
+
+  injector.before_slot(*sim.engine);  // slot 2: two pods die
+  sim.engine->run_slot();
+  EXPECT_EQ(sim.metrics().tasks, 2);
+  EXPECT_TRUE(sim.metrics().fault_tainted);
+  EXPECT_DOUBLE_EQ(sim.engine->last_report().pause_s, 0.0);  // crashes do not checkpoint
+
+  injector.before_slot(*sim.engine);  // slot 3: taint clears, damage persists
+  sim.engine->run_slot();
+  EXPECT_EQ(sim.metrics().tasks, 2);
+  EXPECT_FALSE(sim.metrics().fault_tainted);
+  EXPECT_TRUE(injector.exhausted());
+  ASSERT_EQ(injector.applied().size(), 1u);
+  EXPECT_EQ(injector.applied()[0].op, sim.op);
+  EXPECT_EQ(injector.applied()[0].slot, 2u);
+}
+
+TEST(FaultInjector, StragglerDegradesThenRestoresCapacity) {
+  ChaosSim sim(1900.0, /*tasks=*/2);  // overloaded: observed capacity is exact
+  FaultInjector injector(FaultPlan::parse("straggler@2+2*0.5:worker"));
+
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();
+  EXPECT_NEAR(sim.metrics().observed_capacity, 2000.0, 20.0);
+
+  // One of two tasks at half rate: factor (2 - 1 + 0.5) / 2 = 0.75.
+  for (int window_slot = 0; window_slot < 2; ++window_slot) {
+    injector.before_slot(*sim.engine);
+    sim.engine->run_slot();
+    EXPECT_NEAR(sim.metrics().observed_capacity, 1500.0, 20.0);
+    EXPECT_TRUE(sim.metrics().fault_tainted);
+  }
+
+  injector.before_slot(*sim.engine);  // window closed: full speed again
+  sim.engine->run_slot();
+  EXPECT_NEAR(sim.metrics().observed_capacity, 2000.0, 20.0);
+  EXPECT_FALSE(sim.metrics().fault_tainted);
+  EXPECT_TRUE(injector.exhausted());
+}
+
+TEST(FaultInjector, StragglerTracksRescaledTasks) {
+  ChaosSim sim(3900.0, /*tasks=*/2);
+  FaultInjector injector(FaultPlan::parse("straggler@1+3*0.5:worker"));
+
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();
+  EXPECT_NEAR(sim.metrics().observed_capacity, 1500.0, 20.0);  // (1 + 0.5)/2
+
+  // Scale out mid-window: the slow task is now diluted by 3 healthy peers.
+  sim.engine->set_tasks(sim.op, 4);
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();  // absorbs the reconfiguration pause
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();
+  EXPECT_NEAR(sim.metrics().observed_capacity, 0.875 * 4000.0, 40.0);  // (3 + 0.5)/4
+}
+
+TEST(Engine, CheckpointFailureBackoffExtendsPause) {
+  ChaosSim sim(800.0);
+  sim.engine->run_slot();
+
+  // One failed attempt with backoff 2: pause 10 + 20 = 30 s (cap is 60 s).
+  sim.engine->arm_checkpoint_failure(1);
+  sim.engine->set_tasks(sim.op, 2);
+  const streamsim::SlotReport& report = sim.engine->run_slot();
+  EXPECT_DOUBLE_EQ(report.pause_s, 30.0);
+  EXPECT_EQ(report.checkpoint_retries, 1);
+  EXPECT_FALSE(report.checkpoint_aborted);
+  EXPECT_EQ(sim.metrics().tasks, 2);  // reconfiguration still landed
+
+  // The armed failure is consumed: the next reconfiguration is normal.
+  sim.engine->set_tasks(sim.op, 3);
+  EXPECT_DOUBLE_EQ(sim.engine->run_slot().pause_s, 10.0);
+}
+
+TEST(Engine, CheckpointAbortRollsBackConfig) {
+  ChaosSim sim(800.0);
+  sim.engine->run_slot();
+
+  // Three failed attempts: 10 + 20 + 40 + 80 = 150 s > 60 s cap -> abort.
+  sim.engine->arm_checkpoint_failure(3);
+  sim.engine->set_tasks(sim.op, 2);
+  const streamsim::SlotReport& report = sim.engine->run_slot();
+  EXPECT_TRUE(report.checkpoint_aborted);
+  EXPECT_EQ(report.checkpoint_retries, 3);
+  EXPECT_DOUBLE_EQ(report.pause_s, 60.0);   // burned retrying, then gave up
+  EXPECT_EQ(sim.metrics().tasks, 1);        // rolled back to the old config
+  EXPECT_EQ(sim.engine->tasks(sim.op), 1);
+
+  // Idle again after the abort: no lingering pause or armed state.
+  const streamsim::SlotReport& after = sim.engine->run_slot();
+  EXPECT_DOUBLE_EQ(after.pause_s, 0.0);
+  EXPECT_FALSE(after.checkpoint_aborted);
+}
+
+TEST(FaultInjector, MetricDropoutGoesStaleThenRecovers) {
+  ChaosSim sim(800.0);
+  FaultInjector injector(FaultPlan::parse("dropout@1+2:worker"));
+
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();
+  const double fresh_cpu = sim.metrics().cpu_utilization;
+  EXPECT_GT(fresh_cpu, 0.5);
+  EXPECT_FALSE(sim.metrics().metrics_stale);
+
+  for (int window_slot = 0; window_slot < 2; ++window_slot) {
+    injector.before_slot(*sim.engine);
+    sim.engine->run_slot();
+    EXPECT_TRUE(sim.metrics().metrics_stale);
+    EXPECT_DOUBLE_EQ(sim.metrics().observed_capacity, 0.0);  // no eq. (8) estimate
+    EXPECT_DOUBLE_EQ(sim.metrics().cpu_utilization, fresh_cpu);  // last good reading
+  }
+
+  injector.before_slot(*sim.engine);
+  sim.engine->run_slot();
+  EXPECT_FALSE(sim.metrics().metrics_stale);
+  EXPECT_GT(sim.metrics().observed_capacity, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery analytics.
+// ---------------------------------------------------------------------------
+
+TEST(Recovery, ScoresDipDepthAndDuration) {
+  // Steady at oracle until slot 5; a fault halves throughput for two slots.
+  std::vector<RecoverySlotData> series(10, {1000.0, 1000.0});
+  series[5] = {500.0, 1000.0};
+  series[6] = {500.0, 1000.0};
+  const std::vector<AppliedFault> timeline{
+      {{FaultKind::kPodCrash, 5, 1, 1.0, "w"}, 0, 5}};
+
+  const auto stats = analyze_recovery(timeline, series, /*slot_seconds=*/120.0);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_NEAR(stats[0].pre_fault_ratio, 1.0, 1e-12);
+  ASSERT_TRUE(stats[0].slots_to_recover.has_value());
+  EXPECT_EQ(*stats[0].slots_to_recover, 2u);
+  // Two slots each 0.5 below the pre-fault level: 2 * 0.5 * 1000 * 120 s.
+  EXPECT_NEAR(stats[0].tuples_lost, 120000.0, 1e-6);
+}
+
+TEST(Recovery, InvisibleFaultCostsNothing) {
+  const std::vector<RecoverySlotData> series(8, {950.0, 1000.0});
+  const std::vector<AppliedFault> timeline{
+      {{FaultKind::kMetricDropout, 4, 2, 0.0, "w"}, 0, 4}};
+  const auto stats = analyze_recovery(timeline, series, 120.0);
+  ASSERT_EQ(stats.size(), 1u);
+  ASSERT_TRUE(stats[0].slots_to_recover.has_value());
+  EXPECT_EQ(*stats[0].slots_to_recover, 0u);  // never dipped below the bar
+  EXPECT_DOUBLE_EQ(stats[0].tuples_lost, 0.0);
+}
+
+TEST(Recovery, NeverRecoveredIsNullopt) {
+  std::vector<RecoverySlotData> series(6, {1000.0, 1000.0});
+  for (std::size_t i = 3; i < series.size(); ++i) series[i].achieved_rate = 100.0;
+  const std::vector<AppliedFault> timeline{
+      {{FaultKind::kPodCrash, 3, 1, 1.0, "w"}, 0, 3}};
+  const auto stats = analyze_recovery(timeline, series, 120.0);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].slots_to_recover.has_value());
+  EXPECT_GT(stats[0].tuples_lost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Controller hardening.
+// ---------------------------------------------------------------------------
+
+TEST(DragsterController, GpIngestsNoTaintedObservation) {
+  ChaosSim sim(800.0);
+  core::DragsterController controller{core::DragsterOptions{}};
+  FaultInjector injector(FaultPlan::parse(
+      "dropout@3+2:worker;crash@7:worker;straggler@9+2*0.5:worker"));
+
+  experiments::ScenarioOptions options;
+  options.slots = 14;
+  const experiments::RunResult run =
+      experiments::run_scenario(*sim.engine, controller, options, "chaos", &injector);
+
+  std::size_t tainted = 0;
+  for (const auto& slot : run.slots) tainted += slot.fault_active ? 1u : 0u;
+  EXPECT_GE(tainted, 5u);  // 2 dropout + 1 crash + 2 straggler slots
+
+  const gp::GaussianProcess* gp = controller.gp_for(sim.op);
+  ASSERT_NE(gp, nullptr);
+  // Every clean slot contributes exactly one observation; every tainted or
+  // stale slot contributes none.
+  EXPECT_EQ(gp->num_observations(), run.slots.size() - tainted);
+}
+
+TEST(DragsterController, ReissuesCommandAfterCrash) {
+  ChaosSim sim(2500.0, /*tasks=*/4);  // ample headroom: target stays near 4
+  core::DragsterController controller{core::DragsterOptions{}};
+  controller.initialize(sim.engine->monitor(), *sim.engine);
+
+  for (int slot = 0; slot < 3; ++slot) {
+    sim.engine->run_slot();
+    controller.on_slot(sim.engine->monitor(), *sim.engine);
+  }
+  const int commanded = controller.commanded_tasks(sim.op);
+  ASSERT_EQ(sim.engine->tasks(sim.op), commanded);
+
+  sim.engine->inject_pod_failure(sim.op);
+  sim.engine->inject_pod_failure(sim.op);
+  ASSERT_EQ(sim.engine->tasks(sim.op), commanded - 2);
+
+  sim.engine->run_slot();
+  controller.on_slot(sim.engine->monitor(), *sim.engine);
+  // repair_lost_pods re-issued the last commanded configuration instead of
+  // chasing the crashed slot's degraded capacity sample.
+  EXPECT_EQ(sim.engine->tasks(sim.op), controller.commanded_tasks(sim.op));
+  EXPECT_GE(sim.engine->tasks(sim.op), commanded - 1);
+}
+
+}  // namespace
+}  // namespace dragster::faults

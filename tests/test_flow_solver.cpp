@@ -148,8 +148,9 @@ TEST(FlowSolver, SensitivityMatchesFiniteDifference) {
     const double fd_a2 = (flow.app_throughput(fx.rates(100.0), fx.caps(ya + h, yb)) -
                           flow.app_throughput(fx.rates(100.0), fx.caps(ya, yb))) /
                          h;
-    if (std::abs(fd_a - fd_a2) < 1e-6)
+    if (std::abs(fd_a - fd_a2) < 1e-6) {
       EXPECT_NEAR(s.dthroughput_dy[fx.a], fd_a, 1e-5) << "ya=" << ya << " yb=" << yb;
+    }
   }
 }
 

@@ -148,7 +148,7 @@ TEST(Gp, LogMarginalLikelihoodPrefersTruth) {
 TEST(Gp, RejectsDimensionMismatch) {
   GaussianProcess gp(se(), 0.01);
   EXPECT_THROW(gp.add_observation({1.0, 2.0}, 0.0), std::invalid_argument);
-  EXPECT_THROW(gp.predict(std::vector{1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((void)gp.predict(std::vector{1.0, 2.0}), std::invalid_argument);
 }
 
 TEST(Gp, IncrementalManyObservationsStayStable) {
@@ -178,7 +178,7 @@ TEST(UcbBeta, GrowsWithTimeAndCandidates) {
 }
 
 TEST(UcbBeta, RejectsPaperInvalidDelta) {
-  EXPECT_THROW(ucb_beta(10, 1, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)ucb_beta(10, 1, 1.0), std::invalid_argument);
 }
 
 TEST(Acquisition, ClassicUcbPicksHighMeanWhenNoUncertainty) {
