@@ -48,10 +48,13 @@ void print_heatmap(const streamsim::Engine& engine, const workloads::WorkloadSpe
 
 void run_case(const workloads::WorkloadSpec& spec, double rate, const online::Budget& budget,
               std::size_t slots, std::uint64_t seed, const char* label) {
+  char budget_label[32];
+  if (budget.limited())
+    std::snprintf(budget_label, sizeof budget_label, "$%.2f/h", budget.dollars_per_hour());
+  else
+    std::snprintf(budget_label, sizeof budget_label, "none");
   std::printf("\n--- %s: WordCount, rate %.0f lines/s, budget %s ---\n", label, rate,
-              budget.limited() ? ("$" + common::Table::num(budget.dollars_per_hour(), 2) + "/h")
-                                     .c_str()
-                               : "none");
+              budget_label);
   {
     streamsim::Engine probe = [&] {
       std::map<dag::NodeId, std::unique_ptr<streamsim::RateSchedule>> schedules;
@@ -82,8 +85,11 @@ void run_case(const workloads::WorkloadSpec& spec, double rate, const online::Bu
 
     std::string trajectory;
     for (const auto& slot : run.slots) {
-      trajectory += "(" + std::to_string(slot.tasks[0]) + "," + std::to_string(slot.tasks[1]) +
-                    ")";
+      trajectory += "(";
+      trajectory += std::to_string(slot.tasks[0]);
+      trajectory += ",";
+      trajectory += std::to_string(slot.tasks[1]);
+      trajectory += ")";
     }
     const auto conv = experiments::convergence_minutes(run.slots, 0, slots, 10.0);
     const auto& last = run.slots.back();

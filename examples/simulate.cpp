@@ -140,8 +140,10 @@ int main(int argc, char** argv) {
   const auto operators = spec.dag.operators();
   for (const auto& s : run.slots) {
     std::string tasks;
-    for (std::size_t i = 0; i < s.tasks.size(); ++i)
-      tasks += (i ? "," : "") + std::to_string(s.tasks[i]);
+    for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+      if (i != 0) tasks += ",";
+      tasks += std::to_string(s.tasks[i]);
+    }
     table.add_row({std::to_string(s.slot), common::Table::num(s.start_seconds / 60.0, 0),
                    tasks, common::Table::num(s.effective_rate, 0),
                    common::Table::num(s.oracle_throughput, 0),

@@ -1,8 +1,8 @@
 // Error-handling helpers shared across the library.
 //
 // DRAGSTER_REQUIRE is used for precondition checks on public API boundaries;
-// violations throw std::invalid_argument with file/line context so callers
-// (and tests) can assert on misuse without aborting the process.
+// violations throw dragster::Error with file/line context so callers (and
+// tests) can assert on misuse without aborting the process.
 #pragma once
 
 #include <sstream>
@@ -11,12 +11,21 @@
 
 namespace dragster {
 
+/// Library-wide exception for precondition violations and malformed input
+/// (fault-plan specs, snapshot documents).  Derives from
+/// std::invalid_argument so pre-existing call sites catching the standard
+/// type keep working.
+class Error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 [[noreturn]] inline void raise_requirement_failure(const char* expr, const char* file, int line,
                                                    const std::string& message) {
   std::ostringstream oss;
   oss << file << ':' << line << ": requirement failed: " << expr;
   if (!message.empty()) oss << " (" << message << ')';
-  throw std::invalid_argument(oss.str());
+  throw Error(oss.str());
 }
 
 }  // namespace dragster

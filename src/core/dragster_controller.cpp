@@ -64,6 +64,19 @@ const gp::GaussianProcess* DragsterController::gp_for(dag::NodeId op) const {
   return &*it->second.gp;
 }
 
+gp::GaussianProcess DragsterController::make_operator_gp() const {
+  std::vector<double> lengthscales{options_.gp_lengthscale};
+  if (options_.enable_vertical) lengthscales.push_back(0.75);  // cores
+  const double signal = options_.gp_signal_std * options_.gp_signal_std;
+  std::unique_ptr<gp::Kernel> kernel;
+  if (options_.use_matern_kernel)
+    kernel = std::make_unique<gp::Matern52Kernel>(signal, std::move(lengthscales));
+  else
+    kernel = std::make_unique<gp::SquaredExponentialKernel>(signal, std::move(lengthscales));
+  return gp::GaussianProcess(std::move(kernel), options_.gp_noise_rel * options_.gp_noise_rel,
+                             /*prior_mean=*/1.0);
+}
+
 void DragsterController::observe(const streamsim::JobMonitor& monitor) {
   const streamsim::SlotReport& report = monitor.last_report();
   const std::size_t n = dag_->node_count();
@@ -88,17 +101,7 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
       if (!model.gp.has_value()) {
         // First estimate fixes the normalization scale and the GP prior.
         model.scale = m.observed_capacity;
-        std::vector<double> lengthscales{options_.gp_lengthscale};
-        if (options_.enable_vertical) lengthscales.push_back(0.75);  // cores
-        const double signal = options_.gp_signal_std * options_.gp_signal_std;
-        std::unique_ptr<gp::Kernel> kernel;
-        if (options_.use_matern_kernel)
-          kernel = std::make_unique<gp::Matern52Kernel>(signal, std::move(lengthscales));
-        else
-          kernel = std::make_unique<gp::SquaredExponentialKernel>(signal,
-                                                                  std::move(lengthscales));
-        model.gp.emplace(std::move(kernel),
-                         options_.gp_noise_rel * options_.gp_noise_rel, /*prior_mean=*/1.0);
+        model.gp.emplace(make_operator_gp());
       }
       model.gp->add_observation(deployed, m.observed_capacity / model.scale);
     }
@@ -326,6 +329,130 @@ void DragsterController::on_slot(const streamsim::JobMonitor& monitor,
   y_target_ = compute_targets(monitor);
   repair_lost_pods(monitor, actuator);
   select_configs(monitor, actuator);
+}
+
+std::size_t DragsterController::non_finite_constraints() const {
+  DRAGSTER_REQUIRE(dual_ != nullptr, "controller not initialized");
+  return dual_->non_finite_observations();
+}
+
+void DragsterController::save_state(resilience::SnapshotWriter& writer) const {
+  DRAGSTER_REQUIRE(dag_ != nullptr, "initialize() must run before save_state()");
+  const std::vector<dag::NodeId> ops = dag_->operators();
+
+  writer.begin_section("controller");
+  writer.field("method", static_cast<std::uint64_t>(options_.method));
+  writer.field("learn_throughput", static_cast<std::uint64_t>(options_.learn_throughput ? 1 : 0));
+  writer.field("enable_vertical", static_cast<std::uint64_t>(options_.enable_vertical ? 1 : 0));
+  writer.field("slot", static_cast<std::uint64_t>(slot_));
+  writer.field("node_count", static_cast<std::uint64_t>(dag_->node_count()));
+  writer.field("y_est", std::span<const double>(y_est_));
+  writer.field("y_target", std::span<const double>(y_target_));
+  writer.field("demand_est", std::span<const double>(demand_est_));
+  std::vector<int> bn(bottlenecks_.begin(), bottlenecks_.end());
+  writer.field("bottlenecks", std::span<const int>(bn));
+  std::vector<int> op_ids;
+  std::vector<int> cmd_tasks;
+  std::vector<double> cmd_cpu;
+  std::vector<double> cmd_mem;
+  for (dag::NodeId id : ops) {
+    op_ids.push_back(static_cast<int>(id));
+    cmd_tasks.push_back(commanded_tasks_.at(id));
+    const cluster::PodSpec& spec = commanded_spec_.at(id);
+    cmd_cpu.push_back(spec.cpu_cores);
+    cmd_mem.push_back(spec.memory_gb);
+  }
+  writer.field("operators", std::span<const int>(op_ids));
+  writer.field("commanded_tasks", std::span<const int>(cmd_tasks));
+  writer.field("commanded_cpu", std::span<const double>(cmd_cpu));
+  writer.field("commanded_mem", std::span<const double>(cmd_mem));
+
+  writer.begin_section("budget");
+  writer.field("dollars_per_hour", options_.budget.dollars_per_hour());
+  writer.field("pod_price", options_.budget.pod_price());
+
+  writer.begin_section("dual");
+  dual_->save_state(writer);
+
+  for (dag::NodeId id : ops) {
+    writer.begin_section("op" + std::to_string(id));
+    const auto it = models_.find(id);
+    const bool has_gp = it != models_.end() && it->second.gp.has_value();
+    writer.field("scale", it != models_.end() ? it->second.scale : 0.0);
+    writer.field("gp_present", static_cast<std::uint64_t>(has_gp ? 1 : 0));
+    if (has_gp) it->second.gp->save_state(writer);
+  }
+
+  if (learner_) {
+    writer.begin_section("learner");
+    learner_->save_state(writer);
+  }
+}
+
+void DragsterController::load_state(resilience::SnapshotReader& reader) {
+  DRAGSTER_REQUIRE(dag_ != nullptr, "initialize() must run before load_state()");
+  const std::vector<dag::NodeId> ops = dag_->operators();
+
+  reader.enter_section("controller");
+  DRAGSTER_REQUIRE(reader.get_uint("method") == static_cast<std::uint64_t>(options_.method),
+                   "snapshot was taken with a different primal method");
+  DRAGSTER_REQUIRE((reader.get_uint("learn_throughput") != 0) == options_.learn_throughput,
+                   "snapshot was taken with a different learn_throughput mode");
+  DRAGSTER_REQUIRE((reader.get_uint("enable_vertical") != 0) == options_.enable_vertical,
+                   "snapshot was taken with a different vertical-scaling mode");
+  DRAGSTER_REQUIRE(reader.get_uint("node_count") == dag_->node_count(),
+                   "snapshot was taken against a different application topology");
+  slot_ = reader.get_uint("slot");
+  y_est_ = reader.get_doubles("y_est");
+  y_target_ = reader.get_doubles("y_target");
+  demand_est_ = reader.get_doubles("demand_est");
+  DRAGSTER_REQUIRE(y_est_.size() == dag_->node_count() && y_target_.size() == dag_->node_count() &&
+                       demand_est_.size() == dag_->node_count(),
+                   "snapshot state vectors do not match the topology");
+  bottlenecks_.clear();
+  for (int id : reader.get_ints("bottlenecks")) bottlenecks_.push_back(static_cast<dag::NodeId>(id));
+  const std::vector<int> op_ids = reader.get_ints("operators");
+  const std::vector<int> cmd_tasks = reader.get_ints("commanded_tasks");
+  const std::vector<double> cmd_cpu = reader.get_doubles("commanded_cpu");
+  const std::vector<double> cmd_mem = reader.get_doubles("commanded_mem");
+  DRAGSTER_REQUIRE(op_ids.size() == ops.size() && cmd_tasks.size() == ops.size() &&
+                       cmd_cpu.size() == ops.size() && cmd_mem.size() == ops.size(),
+                   "snapshot commanded configuration does not match the topology");
+  commanded_tasks_.clear();
+  commanded_spec_.clear();
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    DRAGSTER_REQUIRE(static_cast<dag::NodeId>(op_ids[k]) == ops[k],
+                     "snapshot operator ids do not match the topology");
+    commanded_tasks_[ops[k]] = cmd_tasks[k];
+    commanded_spec_[ops[k]] = cluster::PodSpec{cmd_cpu[k], cmd_mem[k]};
+  }
+
+  reader.enter_section("budget");
+  DRAGSTER_REQUIRE(reader.get_double("dollars_per_hour") == options_.budget.dollars_per_hour() &&
+                       reader.get_double("pod_price") == options_.budget.pod_price(),
+                   "snapshot was taken under a different budget");
+
+  reader.enter_section("dual");
+  dual_->load_state(reader);
+
+  models_.clear();
+  for (dag::NodeId id : ops) {
+    reader.enter_section("op" + std::to_string(id));
+    OperatorModel& model = models_[id];
+    model.scale = reader.get_double("scale");
+    if (reader.get_uint("gp_present") != 0) {
+      model.gp.emplace(make_operator_gp());
+      model.gp->load_state(reader);
+    }
+  }
+
+  if (learner_) {
+    reader.enter_section("learner");
+    learner_->load_state(reader);
+    // The planning DAG's edge parameters are a pure function of the learner
+    // state; re-applying restores them exactly.
+    learner_->apply(*dag_);
+  }
 }
 
 }  // namespace dragster::core

@@ -31,6 +31,7 @@
 #include "online/dual_state.hpp"
 #include "online/ogd.hpp"
 #include "online/saddle_point.hpp"
+#include "resilience/snapshot.hpp"
 
 namespace dragster::core {
 
@@ -71,7 +72,7 @@ struct DragsterOptions {
   double memory_per_core_gb = 2.0;
 };
 
-class DragsterController final : public Controller {
+class DragsterController final : public Controller, public resilience::Snapshotable {
  public:
   explicit DragsterController(DragsterOptions options);
 
@@ -81,6 +82,19 @@ class DragsterController final : public Controller {
                   streamsim::ScalingActuator& actuator) override;
   void on_slot(const streamsim::JobMonitor& monitor,
                streamsim::ScalingActuator& actuator) override;
+
+  // -- crash recovery (src/resilience) ---------------------------------------
+  /// Serializes every piece of learned state — per-operator GP observations
+  /// and normalization scales, dual multipliers, throughput-learner weights,
+  /// target/estimate vectors, and the last commanded configuration — into a
+  /// versioned snapshot.  initialize() must have run.
+  void save_state(resilience::SnapshotWriter& writer) const override;
+  /// Inverse of save_state(): overwrites this controller's state in place.
+  /// initialize() must have run first (against the same application) so the
+  /// planning DAG and solver exist; GP posteriors are rebuilt by replaying
+  /// the serialized observations, after which the controller's decisions are
+  /// bit-identical to the snapshotted one's given identical inputs.
+  void load_state(resilience::SnapshotReader& reader) override;
 
   // -- introspection (tests and benches) -------------------------------------
   [[nodiscard]] const std::vector<double>& last_targets() const noexcept { return y_target_; }
@@ -95,6 +109,10 @@ class DragsterController final : public Controller {
   [[nodiscard]] const dag::StreamDag& planning_dag() const { return *dag_; }
   /// Last configuration this controller issued (crash-repair reference).
   [[nodiscard]] int commanded_tasks(dag::NodeId op) const;
+  /// Constraint entries the dual update skipped as NaN/inf — a supervisor
+  /// health signal (see online::DualState::non_finite_observations()).
+  [[nodiscard]] std::size_t non_finite_constraints() const;
+  [[nodiscard]] const DragsterOptions& options() const noexcept { return options_; }
 
  private:
   struct OperatorModel {
@@ -103,6 +121,7 @@ class DragsterController final : public Controller {
   };
 
   void observe(const streamsim::JobMonitor& monitor);
+  [[nodiscard]] gp::GaussianProcess make_operator_gp() const;
   [[nodiscard]] std::vector<double> compute_targets(const streamsim::JobMonitor& monitor);
   void select_configs(const streamsim::JobMonitor& monitor,
                       streamsim::ScalingActuator& actuator);

@@ -40,6 +40,31 @@ double RlsEstimator::predict(std::span<const double> x) const {
   return sum;
 }
 
+void RlsEstimator::save_state(resilience::SnapshotWriter& writer,
+                              const std::string& prefix) const {
+  writer.field(prefix + "w", std::span<const double>(w_));
+  std::vector<double> flat;
+  flat.reserve(w_.size() * w_.size());
+  for (const auto& row : p_) flat.insert(flat.end(), row.begin(), row.end());
+  writer.field(prefix + "p", std::span<const double>(flat));
+  writer.field(prefix + "count", static_cast<std::uint64_t>(count_));
+  writer.field(prefix + "forgetting", forgetting_);
+}
+
+void RlsEstimator::load_state(const resilience::SnapshotReader& reader,
+                              const std::string& prefix) {
+  DRAGSTER_REQUIRE(reader.get_double(prefix + "forgetting") == forgetting_,
+                   "snapshot RLS forgetting-factor mismatch");
+  std::vector<double> w = reader.get_doubles(prefix + "w");
+  const std::vector<double> flat = reader.get_doubles(prefix + "p");
+  const std::size_t n = w_.size();
+  DRAGSTER_REQUIRE(w.size() == n && flat.size() == n * n, "snapshot RLS dimension mismatch");
+  w_ = std::move(w);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) p_[i][j] = flat[i * n + j];
+  count_ = reader.get_uint(prefix + "count");
+}
+
 namespace {
 
 ThroughputLearner::FnKind kind_of_name(const std::string& name) {
@@ -160,6 +185,69 @@ void ThroughputLearner::observe(const dag::StreamDag& dag, std::span<const doubl
           st.tanh_params[k] += step;
         }
         last_delta_ = std::max(last_delta_, delta);
+        break;
+      }
+      case FnKind::kOther:
+        break;
+    }
+  }
+}
+
+void ThroughputLearner::save_state(resilience::SnapshotWriter& writer) const {
+  writer.field("tl_edges", static_cast<std::uint64_t>(state_.size()));
+  writer.field("tl_last_delta", last_delta_);
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    const EdgeState& st = state_[s];
+    const std::string prefix = "tl_e" + std::to_string(s) + "_";
+    writer.field(prefix + "edge", static_cast<std::uint64_t>(st.edge_index));
+    writer.field(prefix + "kind", static_cast<std::uint64_t>(st.kind));
+    switch (st.kind) {
+      case FnKind::kLinear:
+        st.rls->save_state(writer, prefix + "rls_");
+        break;
+      case FnKind::kMinWeighted:
+        writer.field(prefix + "bw", std::span<const double>(st.branch_weights));
+        for (std::size_t k = 0; k < st.branch.size(); ++k)
+          st.branch[k].save_state(writer, prefix + "b" + std::to_string(k) + "_");
+        break;
+      case FnKind::kTanh:
+        writer.field(prefix + "tanh", std::span<const double>(st.tanh_params));
+        break;
+      case FnKind::kOther:
+        break;
+    }
+  }
+}
+
+void ThroughputLearner::load_state(const resilience::SnapshotReader& reader) {
+  DRAGSTER_REQUIRE(reader.get_uint("tl_edges") == state_.size(),
+                   "snapshot learner edge-count mismatch");
+  last_delta_ = reader.get_double("tl_last_delta");
+  for (std::size_t s = 0; s < state_.size(); ++s) {
+    EdgeState& st = state_[s];
+    const std::string prefix = "tl_e" + std::to_string(s) + "_";
+    DRAGSTER_REQUIRE(reader.get_uint(prefix + "edge") == st.edge_index,
+                     "snapshot learner edge-index mismatch");
+    DRAGSTER_REQUIRE(reader.get_uint(prefix + "kind") == static_cast<std::uint64_t>(st.kind),
+                     "snapshot learner function-kind mismatch");
+    switch (st.kind) {
+      case FnKind::kLinear:
+        st.rls->load_state(reader, prefix + "rls_");
+        break;
+      case FnKind::kMinWeighted: {
+        std::vector<double> bw = reader.get_doubles(prefix + "bw");
+        DRAGSTER_REQUIRE(bw.size() == st.branch_weights.size(),
+                         "snapshot learner branch-count mismatch");
+        st.branch_weights = std::move(bw);
+        for (std::size_t k = 0; k < st.branch.size(); ++k)
+          st.branch[k].load_state(reader, prefix + "b" + std::to_string(k) + "_");
+        break;
+      }
+      case FnKind::kTanh: {
+        std::vector<double> params = reader.get_doubles(prefix + "tanh");
+        DRAGSTER_REQUIRE(params.size() == st.tanh_params.size(),
+                         "snapshot learner tanh-parameter mismatch");
+        st.tanh_params = std::move(params);
         break;
       }
       case FnKind::kOther:

@@ -13,9 +13,11 @@
 
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "dag/stream_dag.hpp"
+#include "resilience/snapshot.hpp"
 
 namespace dragster::core {
 
@@ -31,6 +33,10 @@ class RlsEstimator {
   [[nodiscard]] const std::vector<double>& weights() const noexcept { return w_; }
   [[nodiscard]] double predict(std::span<const double> x) const;
   [[nodiscard]] std::size_t observations() const noexcept { return count_; }
+
+  /// Snapshot hooks: weights, covariance, and count under `prefix` keys.
+  void save_state(resilience::SnapshotWriter& writer, const std::string& prefix) const;
+  void load_state(const resilience::SnapshotReader& reader, const std::string& prefix);
 
  private:
   std::vector<double> w_;
@@ -63,6 +69,12 @@ class ThroughputLearner {
   [[nodiscard]] double last_update_delta() const noexcept { return last_delta_; }
 
   [[nodiscard]] std::size_t learnable_edges() const noexcept { return state_.size(); }
+
+  /// Snapshot hooks: every estimator's weights/covariances into the writer's
+  /// current section (keys prefixed `tl_`).  The learner must have been
+  /// constructed from an identically shaped DAG before load_state().
+  void save_state(resilience::SnapshotWriter& writer) const;
+  void load_state(const resilience::SnapshotReader& reader);
 
   /// Built-in form classification (public so tests can assert on coverage).
   enum class FnKind { kLinear, kMinWeighted, kTanh, kOther };

@@ -36,9 +36,17 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
     return value;
   };
 
+  auto* supervised = dynamic_cast<resilience::ControllerSupervisor*>(&controller);
+
   for (std::size_t t = 0; t < options.slots; ++t) {
     if (injector != nullptr) injector->before_slot(engine);
     const streamsim::SlotReport& report = engine.run_slot();
+    if (injector != nullptr && injector->consume_controller_crash()) {
+      if (supervised != nullptr)
+        supervised->inject_crash();
+      else
+        controller.initialize(monitor, engine);  // amnesiac restart
+    }
     controller.on_slot(monitor, engine);
 
     SlotSummary summary;
@@ -85,6 +93,7 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                                  engine.options().slot_duration_s,
                                                  options.recovery);
   }
+  if (supervised != nullptr) result.supervisor = supervised->stats();
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/recovery.hpp"
 #include "online/budget.hpp"
+#include "resilience/supervisor.hpp"
 #include "streamsim/engine.hpp"
 
 namespace dragster::experiments {
@@ -51,6 +52,9 @@ struct RunResult {
   /// for fault-free runs.
   std::vector<faults::AppliedFault> fault_timeline;
   std::vector<faults::RecoveryStats> recoveries;
+  /// Present when the controller was a resilience::ControllerSupervisor:
+  /// its crash/snapshot/safe-mode counters at the end of the run.
+  std::optional<resilience::SupervisorStats> supervisor;
 };
 
 struct ScenarioOptions {
@@ -65,6 +69,9 @@ struct ScenarioOptions {
 /// distinct rate vector).  With an `injector`, its fault plan is applied at
 /// each slot boundary and the result carries the applied timeline plus
 /// recovery analytics scored against the oracle-normalized throughput.
+/// `ctrlcrash` events are delivered to the controller itself: a supervised
+/// controller gets inject_crash() (snapshot restore + safe mode), a bare one
+/// is re-initialize()d — the amnesiac-restart baseline.
 [[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                      const ScenarioOptions& options,
                                      const std::string& workload_name = "",

@@ -66,6 +66,11 @@ void FaultInjector::before_slot(streamsim::Engine& engine) {
         active_.push_back(
             {FaultKind::kMetricDropout, record.op, slot + event.duration_slots, 0.0});
         break;
+      case FaultKind::kControllerCrash:
+        // Control-plane only: nothing to do to the engine.  The experiment
+        // loop polls consume_controller_crash() after the slot runs.
+        controller_crash_pending_ = true;
+        break;
     }
     applied_.push_back(std::move(record));
   }
@@ -82,6 +87,12 @@ void FaultInjector::before_slot(streamsim::Engine& engine) {
 
 bool FaultInjector::exhausted() const noexcept {
   return next_event_ >= plan_.events().size() && active_.empty();
+}
+
+bool FaultInjector::consume_controller_crash() noexcept {
+  const bool pending = controller_crash_pending_;
+  controller_crash_pending_ = false;
+  return pending;
 }
 
 }  // namespace dragster::faults

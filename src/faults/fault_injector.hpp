@@ -48,6 +48,12 @@ class FaultInjector {
   /// True once every event has fired and every window has closed.
   [[nodiscard]] bool exhausted() const noexcept;
 
+  /// Controller crashes are control-plane events: the engine is untouched
+  /// and the experiment loop delivers them to the supervisor instead.
+  /// Returns true (once) when a ctrlcrash event fired in the last
+  /// before_slot() call and clears the flag.
+  [[nodiscard]] bool consume_controller_crash() noexcept;
+
  private:
   struct ActiveWindow {
     FaultKind kind = FaultKind::kStraggler;
@@ -60,6 +66,7 @@ class FaultInjector {
   std::size_t next_event_ = 0;
   std::vector<AppliedFault> applied_;
   std::vector<ActiveWindow> active_;
+  bool controller_crash_pending_ = false;
 };
 
 }  // namespace dragster::faults

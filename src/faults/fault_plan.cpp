@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -15,6 +16,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStraggler: return "straggler";
     case FaultKind::kCheckpointFailure: return "ckptfail";
     case FaultKind::kMetricDropout: return "dropout";
+    case FaultKind::kControllerCrash: return "ctrlcrash";
   }
   return "unknown";
 }
@@ -26,6 +28,7 @@ FaultKind kind_from_string(const std::string& word) {
   if (word == "straggler") return FaultKind::kStraggler;
   if (word == "ckptfail") return FaultKind::kCheckpointFailure;
   if (word == "dropout") return FaultKind::kMetricDropout;
+  if (word == "ctrlcrash") return FaultKind::kControllerCrash;
   DRAGSTER_REQUIRE(false, "unknown fault kind '" + word + "'");
 }
 
@@ -48,17 +51,50 @@ void check_event(FaultEvent& event) {
     case FaultKind::kCheckpointFailure:
       DRAGSTER_REQUIRE(event.value >= 1.0, "ckptfail needs at least one failed attempt");
       break;
+    case FaultKind::kControllerCrash:
+      DRAGSTER_REQUIRE(event.op.empty(), "ctrlcrash takes no ':operator' target");
+      DRAGSTER_REQUIRE(event.duration_slots == 1, "ctrlcrash has no duration window");
+      break;
   }
 }
 
-/// Parses a non-negative number starting at `pos`; advances `pos`.
+/// Parses a non-negative number starting at `pos`; advances `pos`.  The
+/// token must be plain digits with at most one decimal point — anything else
+/// (a '-' sign, a second dot, an exponent) is rejected with the token
+/// quoted, and the value is bounds-checked before any integral cast.
 double parse_number(const std::string& text, std::size_t& pos) {
   const std::size_t start = pos;
+  int dots = 0;
   while (pos < text.size() && (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
-                               text[pos] == '.'))
+                               text[pos] == '.')) {
+    if (text[pos] == '.') ++dots;
     ++pos;
-  DRAGSTER_REQUIRE(pos > start, "expected a number in fault spec '" + text + "'");
-  return std::stod(text.substr(start, pos - start));
+  }
+  const std::string token = text.substr(start, pos - start);
+  DRAGSTER_REQUIRE(!token.empty(), "expected a number in fault event '" + text + "'");
+  DRAGSTER_REQUIRE(dots <= 1 && token != ".",
+                   "bad number '" + token + "' in fault event '" + text + "'");
+  double value = 0.0;
+  try {
+    value = std::stod(token);
+  } catch (const std::exception&) {
+    DRAGSTER_REQUIRE(false, "bad number '" + token + "' in fault event '" + text + "'");
+  }
+  DRAGSTER_REQUIRE(std::isfinite(value) && value < 1e9,
+                   "number '" + token + "' out of range in fault event '" + text + "'");
+  return value;
+}
+
+/// Slot indices and durations must be whole numbers; "crash@5.5" truncating
+/// silently would misfire the event.
+std::size_t parse_index(const std::string& text, std::size_t& pos, const char* what) {
+  const std::size_t start = pos;
+  const double value = parse_number(text, pos);
+  const std::string token = text.substr(start, pos - start);
+  DRAGSTER_REQUIRE(value == std::floor(value), std::string(what) + " '" + token +
+                                                   "' must be an integer in fault event '" +
+                                                   text + "'");
+  return static_cast<std::size_t>(value);
 }
 
 FaultEvent parse_event(const std::string& text) {
@@ -71,11 +107,11 @@ FaultEvent parse_event(const std::string& text) {
   if (event.kind == FaultKind::kCheckpointFailure) event.value = 1.0;
 
   std::size_t pos = at + 1;
-  event.slot = static_cast<std::size_t>(parse_number(text, pos));
+  event.slot = parse_index(text, pos, "slot");
   while (pos < text.size()) {
     const char tag = text[pos++];
     if (tag == '+') {
-      event.duration_slots = static_cast<std::size_t>(parse_number(text, pos));
+      event.duration_slots = parse_index(text, pos, "duration");
     } else if (tag == '*') {
       event.value = parse_number(text, pos);
     } else if (tag == ':') {
@@ -156,6 +192,8 @@ FaultPlan FaultPlan::sample(common::Rng& rng, const SampleOptions& options) {
                         static_cast<double>(options.ckpt_retries), ""});
     if (rng.bernoulli(options.dropout_prob))
       events.push_back({FaultKind::kMetricDropout, slot, pick_window(), 0.0, pick_op()});
+    if (rng.bernoulli(options.ctrlcrash_prob))
+      events.push_back({FaultKind::kControllerCrash, slot, 1, 0.0, ""});
   }
   return FaultPlan(std::move(events));
 }

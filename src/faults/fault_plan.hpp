@@ -8,13 +8,15 @@
 //
 //   spec   := event (';' event)*
 //   event  := kind '@' slot ['+' duration] ['*' value] [':' operator]
-//   kind   := 'crash' | 'straggler' | 'ckptfail' | 'dropout'
+//   kind   := 'crash' | 'straggler' | 'ckptfail' | 'dropout' | 'ctrlcrash'
 //
 //   crash@20:shuffle_count          one pod of shuffle_count dies at slot 20
 //   crash@20*2:shuffle_count        two pods die at once
 //   straggler@30+2*0.3:map          one map task runs at 30% rate, 2 slots
 //   ckptfail@40*2                   the next checkpoint fails twice (backoff)
 //   dropout@48+3:shuffle_count      metrics stale/absent for 3 slots
+//   ctrlcrash@25                    the controller process dies at slot 25
+//                                   (control plane only; the job keeps running)
 //
 // Plans may also be sampled from the seeded common::Rng (FaultPlan::sample)
 // so randomized chaos runs stay reproducible bit-for-bit from one uint64.
@@ -27,7 +29,13 @@
 
 namespace dragster::faults {
 
-enum class FaultKind { kPodCrash, kStraggler, kCheckpointFailure, kMetricDropout };
+enum class FaultKind {
+  kPodCrash,
+  kStraggler,
+  kCheckpointFailure,
+  kMetricDropout,
+  kControllerCrash,  ///< the controller process dies; the data plane is untouched
+};
 
 [[nodiscard]] const char* to_string(FaultKind kind);
 
@@ -49,8 +57,9 @@ class FaultPlan {
   FaultPlan() = default;
   explicit FaultPlan(std::vector<FaultEvent> events);
 
-  /// Parses the spec grammar above; throws std::invalid_argument on
-  /// malformed events, unknown kinds, or out-of-range values.
+  /// Parses the spec grammar above; throws dragster::Error (with the
+  /// offending token quoted) on malformed events, unknown kinds, non-integer
+  /// slots/durations, or out-of-range values.
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
   /// Randomized chaos: each slot in [warmup, horizon) draws each fault kind
@@ -62,6 +71,7 @@ class FaultPlan {
     double straggler_prob = 0.02;
     double ckptfail_prob = 0.02;
     double dropout_prob = 0.02;
+    double ctrlcrash_prob = 0.0;          ///< off unless the run is supervised
     std::size_t max_window_slots = 3;     ///< straggler/dropout durations in [1, max]
     double straggler_factor = 0.3;
     int ckpt_retries = 2;

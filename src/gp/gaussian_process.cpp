@@ -85,6 +85,38 @@ void GaussianProcess::reset() {
   chol_.reset();
 }
 
+void GaussianProcess::save_state(resilience::SnapshotWriter& writer) const {
+  writer.field("gp_dim", static_cast<std::uint64_t>(kernel_->dimension()));
+  writer.field("gp_count", static_cast<std::uint64_t>(inputs_.size()));
+  std::vector<double> flat;
+  flat.reserve(inputs_.size() * kernel_->dimension());
+  for (const auto& x : inputs_) flat.insert(flat.end(), x.begin(), x.end());
+  writer.field("gp_inputs", std::span<const double>(flat));
+  std::vector<double> ys(targets_.size());
+  for (std::size_t i = 0; i < targets_.size(); ++i) ys[i] = targets_[i];
+  writer.field("gp_targets", std::span<const double>(ys));
+  writer.field("gp_noise", noise_variance_);
+  writer.field("gp_prior_mean", prior_mean_);
+}
+
+void GaussianProcess::load_state(const resilience::SnapshotReader& reader) {
+  const std::size_t dim = reader.get_uint("gp_dim");
+  DRAGSTER_REQUIRE(dim == kernel_->dimension(), "snapshot GP dimension mismatch");
+  DRAGSTER_REQUIRE(reader.get_double("gp_noise") == noise_variance_,
+                   "snapshot GP noise variance mismatch");
+  DRAGSTER_REQUIRE(reader.get_double("gp_prior_mean") == prior_mean_,
+                   "snapshot GP prior mean mismatch");
+  const std::size_t count = reader.get_uint("gp_count");
+  const std::vector<double> flat = reader.get_doubles("gp_inputs");
+  const std::vector<double> ys = reader.get_doubles("gp_targets");
+  DRAGSTER_REQUIRE(flat.size() == count * dim && ys.size() == count,
+                   "snapshot GP observation arrays are inconsistent");
+  reset();
+  for (std::size_t i = 0; i < count; ++i)
+    add_observation(std::vector<double>(flat.begin() + i * dim, flat.begin() + (i + 1) * dim),
+                    ys[i]);
+}
+
 double ucb_beta(std::size_t num_candidates, std::size_t t, double delta) {
   DRAGSTER_REQUIRE(num_candidates > 0, "need at least one candidate");
   DRAGSTER_REQUIRE(delta > 1.0, "paper requires delta in (1, inf)");

@@ -14,6 +14,7 @@
 #include "gp/kernel.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "resilience/snapshot.hpp"
 
 namespace dragster::gp {
 
@@ -53,6 +54,24 @@ class GaussianProcess {
 
   /// Drops all observations but keeps hyperparameters.
   void reset();
+
+  /// Raw observation history (snapshot/replay and diagnostics).
+  [[nodiscard]] const std::vector<std::vector<double>>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const linalg::Vector& targets() const noexcept { return targets_; }
+
+  /// Writes the observation history and hyperparameters into the writer's
+  /// current section (keys prefixed `gp_`).  The Cholesky factor is not
+  /// serialized: load_state() replays the observations in order, rebuilding
+  /// the factor through the identical incremental-extension sequence, so the
+  /// restored posterior is bit-identical to the saved one.
+  void save_state(resilience::SnapshotWriter& writer) const;
+
+  /// Restores from a section written by save_state().  The kernel must
+  /// already be configured identically (dimension and hyperparameters are
+  /// validated); existing observations are discarded.
+  void load_state(const resilience::SnapshotReader& reader);
 
  private:
   void rebuild_alpha();

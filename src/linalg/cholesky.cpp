@@ -1,12 +1,24 @@
 #include "linalg/cholesky.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 
 namespace dragster::linalg {
 namespace {
+
+/// Escalation bound for the retry loops: jitter * 10^(kMaxJitterAttempts-1)
+/// is the largest diagonal boost tried before giving up.
+constexpr int kMaxJitterAttempts = 12;
+
+std::string format_jitter(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
 
 // In-place lower-triangular factorization; returns false on a non-positive
 // pivot so the caller can retry with jitter.
@@ -33,14 +45,22 @@ bool try_factor(Matrix& l) {
 Cholesky::Cholesky(const Matrix& a, double jitter) : jitter_(jitter) {
   DRAGSTER_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
   double added = 0.0;
-  for (int attempt = 0; attempt < 12; ++attempt) {
+  for (int attempt = 0; attempt < kMaxJitterAttempts; ++attempt) {
     l_ = a;
     if (added > 0.0)
       for (std::size_t i = 0; i < l_.rows(); ++i) l_(i, i) += added;
-    if (try_factor(l_)) return;
+    if (try_factor(l_)) {
+      if (added > 0.0)
+        DRAGSTER_LOG(kWarn) << "Cholesky: matrix needed diagonal jitter " << format_jitter(added)
+                            << " to factor (near-singular kernel matrix?)";
+      return;
+    }
     added = added == 0.0 ? jitter_ : added * 10.0;
   }
-  throw std::runtime_error("Cholesky: matrix is not positive definite even with jitter");
+  // `added` overshot by one escalation when the loop exited; report the
+  // largest value actually tried.
+  throw std::runtime_error("Cholesky: matrix is not positive definite even with jitter " +
+                           format_jitter(added / 10.0));
 }
 
 Vector Cholesky::solve_lower(const Vector& b) const {
@@ -75,10 +95,17 @@ void Cholesky::extend(const Vector& col, double diag) {
   double pivot_sq = diag - dot(r, r);
   if (pivot_sq <= 0.0 || !std::isfinite(pivot_sq)) {
     double added = jitter_;
-    while (pivot_sq + added <= 0.0 && added < 1.0) added *= 10.0;
+    for (int attempt = 1;
+         attempt < kMaxJitterAttempts && std::isfinite(pivot_sq) && pivot_sq + added <= 0.0;
+         ++attempt)
+      added *= 10.0;
+    if (!std::isfinite(pivot_sq) || pivot_sq + added <= 0.0)
+      throw std::runtime_error(
+          "Cholesky::extend: update breaks positive definiteness even with jitter " +
+          format_jitter(added));
     pivot_sq += added;
-    if (pivot_sq <= 0.0)
-      throw std::runtime_error("Cholesky::extend: update breaks positive definiteness");
+    DRAGSTER_LOG(kWarn) << "Cholesky::extend: pivot needed jitter " << format_jitter(added)
+                        << " to stay positive (near-duplicate observation?)";
   }
   l_.grow_symmetric();
   for (std::size_t k = 0; k < n; ++k) l_(n, k) = r[k];

@@ -20,9 +20,14 @@ double DualState::gamma_at(std::size_t t) const noexcept {
 void DualState::update(std::span<const double> constraints) {
   DRAGSTER_REQUIRE(constraints.size() == lambda_.size(), "constraint size mismatch");
   ++slot_;
+  last_non_finite_ = 0;
   const double gamma = gamma_at(slot_);
   for (std::size_t i = 0; i < lambda_.size(); ++i) {
-    if (!std::isfinite(constraints[i])) continue;
+    if (!std::isfinite(constraints[i])) {
+      ++non_finite_;
+      ++last_non_finite_;
+      continue;
+    }
     lambda_[i] = std::max(0.0, lambda_[i] + gamma * constraints[i]);
   }
 }
@@ -36,6 +41,30 @@ double DualState::norm() const {
 void DualState::reset() {
   std::fill(lambda_.begin(), lambda_.end(), 0.0);
   slot_ = 0;
+  non_finite_ = 0;
+  last_non_finite_ = 0;
+}
+
+void DualState::save_state(resilience::SnapshotWriter& writer) const {
+  writer.field("dual_lambda", std::span<const double>(lambda_));
+  writer.field("dual_slot", static_cast<std::uint64_t>(slot_));
+  writer.field("dual_gamma0", gamma0_);
+  writer.field("dual_decay", static_cast<std::uint64_t>(decay_ ? 1 : 0));
+  writer.field("dual_non_finite", static_cast<std::uint64_t>(non_finite_));
+  writer.field("dual_last_non_finite", static_cast<std::uint64_t>(last_non_finite_));
+}
+
+void DualState::load_state(const resilience::SnapshotReader& reader) {
+  DRAGSTER_REQUIRE(reader.get_double("dual_gamma0") == gamma0_,
+                   "snapshot dual gamma0 mismatch");
+  DRAGSTER_REQUIRE((reader.get_uint("dual_decay") != 0) == decay_,
+                   "snapshot dual decay-mode mismatch");
+  std::vector<double> lambda = reader.get_doubles("dual_lambda");
+  DRAGSTER_REQUIRE(lambda.size() == lambda_.size(), "snapshot dual size mismatch");
+  lambda_ = std::move(lambda);
+  slot_ = reader.get_uint("dual_slot");
+  non_finite_ = reader.get_uint("dual_non_finite");
+  last_non_finite_ = reader.get_uint("dual_last_non_finite");
 }
 
 }  // namespace dragster::online

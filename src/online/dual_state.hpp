@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "resilience/snapshot.hpp"
+
 namespace dragster::online {
 
 class DualState {
@@ -19,7 +21,9 @@ class DualState {
   DualState(std::size_t size, double gamma0, bool decay = true);
 
   /// Applies eq. (15) with the slot's constraint values l_i(y_i(t)).
-  /// Non-finite entries are ignored (treated as inactive).
+  /// Non-finite entries are skipped (treated as inactive) and counted; a
+  /// supervisor watching non_finite_observations() can trip a health
+  /// invariant instead of the divergence hiding forever.
   void update(std::span<const double> constraints);
 
   [[nodiscard]] const std::vector<double>& lambda() const noexcept { return lambda_; }
@@ -27,13 +31,26 @@ class DualState {
   [[nodiscard]] std::size_t slot() const noexcept { return slot_; }
   [[nodiscard]] double norm() const;
 
+  /// Total constraint entries skipped as NaN/inf across all updates.
+  [[nodiscard]] std::size_t non_finite_observations() const noexcept { return non_finite_; }
+  /// Entries skipped in the most recent update() alone.
+  [[nodiscard]] std::size_t last_update_non_finite() const noexcept {
+    return last_non_finite_;
+  }
+
   void reset();
+
+  /// Snapshot hooks: fields prefixed `dual_` in the writer's current section.
+  void save_state(resilience::SnapshotWriter& writer) const;
+  void load_state(const resilience::SnapshotReader& reader);
 
  private:
   std::vector<double> lambda_;
   double gamma0_;
   bool decay_;
   std::size_t slot_ = 0;
+  std::size_t non_finite_ = 0;
+  std::size_t last_non_finite_ = 0;
 };
 
 }  // namespace dragster::online

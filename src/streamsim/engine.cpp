@@ -7,23 +7,74 @@
 
 namespace dragster::streamsim {
 
-// -- JobMonitor ---------------------------------------------------------------
+// -- MonitorFrame -------------------------------------------------------------
 
-const dag::StreamDag& JobMonitor::dag() const { return engine_.dag(); }
-const SlotReport& JobMonitor::last_report() const { return engine_.last_report(); }
-bool JobMonitor::has_report() const { return engine_.has_report(); }
-int JobMonitor::tasks(dag::NodeId op) const { return engine_.tasks(op); }
-std::size_t JobMonitor::slots_run() const { return engine_.slots_run(); }
-double JobMonitor::total_tuples() const { return engine_.total_tuples(); }
-double JobMonitor::total_cost() const { return engine_.total_cost(); }
-double JobMonitor::now_seconds() const { return engine_.now_seconds(); }
-int JobMonitor::max_tasks() const { return engine_.options().max_tasks; }
-
-double JobMonitor::pod_price_per_hour(dag::NodeId op) const {
-  return cluster::PricingModel::standard().pod_price_per_hour(engine_.pod_spec(op));
+MonitorFrame MonitorFrame::capture(const JobMonitor& monitor) {
+  MonitorFrame frame;
+  frame.dag = monitor.dag();
+  frame.has_report = monitor.has_report();
+  if (frame.has_report) frame.report = monitor.last_report();
+  for (dag::NodeId id : frame.dag.operators()) {
+    frame.tasks[id] = monitor.tasks(id);
+    frame.specs[id] = monitor.pod_spec(id);
+  }
+  frame.slots_run = monitor.slots_run();
+  frame.now_seconds = monitor.now_seconds();
+  frame.total_tuples = monitor.total_tuples();
+  frame.total_cost = monitor.total_cost();
+  frame.max_tasks = monitor.max_tasks();
+  return frame;
 }
 
-cluster::PodSpec JobMonitor::pod_spec(dag::NodeId op) const { return engine_.pod_spec(op); }
+// -- JobMonitor ---------------------------------------------------------------
+
+const dag::StreamDag& JobMonitor::dag() const { return engine_ ? engine_->dag() : frame_->dag; }
+
+const SlotReport& JobMonitor::last_report() const {
+  if (engine_) return engine_->last_report();
+  DRAGSTER_REQUIRE(frame_->has_report, "replay frame has no slot report");
+  return frame_->report;
+}
+
+bool JobMonitor::has_report() const { return engine_ ? engine_->has_report() : frame_->has_report; }
+
+int JobMonitor::tasks(dag::NodeId op) const {
+  if (engine_) return engine_->tasks(op);
+  const auto it = frame_->tasks.find(op);
+  DRAGSTER_REQUIRE(it != frame_->tasks.end(), "replay frame has no task count for this node");
+  return it->second;
+}
+
+std::size_t JobMonitor::slots_run() const {
+  return engine_ ? engine_->slots_run() : frame_->slots_run;
+}
+
+double JobMonitor::total_tuples() const {
+  return engine_ ? engine_->total_tuples() : frame_->total_tuples;
+}
+
+double JobMonitor::total_cost() const {
+  return engine_ ? engine_->total_cost() : frame_->total_cost;
+}
+
+double JobMonitor::now_seconds() const {
+  return engine_ ? engine_->now_seconds() : frame_->now_seconds;
+}
+
+int JobMonitor::max_tasks() const {
+  return engine_ ? engine_->options().max_tasks : frame_->max_tasks;
+}
+
+double JobMonitor::pod_price_per_hour(dag::NodeId op) const {
+  return cluster::PricingModel::standard().pod_price_per_hour(pod_spec(op));
+}
+
+cluster::PodSpec JobMonitor::pod_spec(dag::NodeId op) const {
+  if (engine_) return engine_->pod_spec(op);
+  const auto it = frame_->specs.find(op);
+  DRAGSTER_REQUIRE(it != frame_->specs.end(), "replay frame has no pod spec for this node");
+  return it->second;
+}
 
 // -- Engine -------------------------------------------------------------------
 

@@ -115,12 +115,37 @@ class ScalingActuator {
 };
 
 class Engine;
+class JobMonitor;
+
+/// A frozen copy of everything a JobMonitor exposes for one slot.  The
+/// resilience layer journals one frame per slot so a restarted controller can
+/// replay the observations it missed (the metrics-store analogue), and tests
+/// can feed two controllers byte-identical inputs.  Captured frames outlive
+/// the engine that produced them.
+struct MonitorFrame {
+  dag::StreamDag dag;
+  SlotReport report;
+  bool has_report = false;
+  std::map<dag::NodeId, int> tasks;                ///< per operator
+  std::map<dag::NodeId, cluster::PodSpec> specs;   ///< per operator
+  std::size_t slots_run = 0;
+  double now_seconds = 0.0;
+  double total_tuples = 0.0;
+  double total_cost = 0.0;
+  int max_tasks = 1;
+
+  /// Snapshots the monitor's current view (works on live and frame-backed
+  /// monitors alike).
+  [[nodiscard]] static MonitorFrame capture(const JobMonitor& monitor);
+};
 
 /// Read-only observation boundary — the Flink REST API / Metrics Server
 /// analogue.  Controllers get this plus a ScalingActuator, never the Engine.
+/// Backed either by a live Engine or by a recorded MonitorFrame (replay).
 class JobMonitor {
  public:
-  explicit JobMonitor(const Engine& engine) : engine_(engine) {}
+  explicit JobMonitor(const Engine& engine) : engine_(&engine) {}
+  explicit JobMonitor(const MonitorFrame& frame) : frame_(&frame) {}
 
   [[nodiscard]] const dag::StreamDag& dag() const;
   [[nodiscard]] const SlotReport& last_report() const;
@@ -135,7 +160,8 @@ class JobMonitor {
   [[nodiscard]] cluster::PodSpec pod_spec(dag::NodeId op) const;
 
  private:
-  const Engine& engine_;
+  const Engine* engine_ = nullptr;
+  const MonitorFrame* frame_ = nullptr;
 };
 
 class Engine final : public ScalingActuator {

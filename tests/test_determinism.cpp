@@ -1,0 +1,93 @@
+// Determinism golden tests.  The controller, simulator, and resilience layer
+// are all seeded and replay-based; two runs with the same seed must agree
+// slot by slot to the bit.  This is what makes snapshots restorable, faults
+// reproducible, and benchmark figures stable across reruns.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/dragster_controller.hpp"
+#include "experiments/scenario.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "resilience/supervisor.hpp"
+#include "streamsim/engine.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster {
+namespace {
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+/// Slot-by-slot bit equality of two runs.
+void expect_identical(const experiments::RunResult& a, const experiments::RunResult& b) {
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(bits(a.slots[t].throughput_rate), bits(b.slots[t].throughput_rate));
+    EXPECT_EQ(bits(a.slots[t].tuples), bits(b.slots[t].tuples));
+    EXPECT_EQ(bits(a.slots[t].cost), bits(b.slots[t].cost));
+    EXPECT_EQ(bits(a.slots[t].pause_s), bits(b.slots[t].pause_s));
+    EXPECT_EQ(a.slots[t].tasks, b.slots[t].tasks);
+  }
+  EXPECT_EQ(bits(a.total_tuples), bits(b.total_tuples));
+  EXPECT_EQ(bits(a.total_cost), bits(b.total_cost));
+}
+
+experiments::RunResult run_wordcount(std::uint64_t seed, std::size_t slots,
+                                     core::Controller& controller,
+                                     faults::FaultInjector* injector = nullptr) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+  experiments::ScenarioOptions options;
+  options.slots = slots;
+  return experiments::run_scenario(engine, controller, options, spec.name, injector);
+}
+
+TEST(Determinism, SameSeedRunsAreBitIdentical) {
+  core::DragsterController first{core::DragsterOptions{}};
+  core::DragsterController second{core::DragsterOptions{}};
+  const auto a = run_wordcount(21, 12, first);
+  const auto b = run_wordcount(21, 12, second);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, SupervisedHealthyRunMatchesUnsupervisedBitForBit) {
+  // The supervisor buffers and validates every decision; with nothing
+  // tripping it must be a bit-transparent wrapper.
+  core::DragsterController bare{core::DragsterOptions{}};
+  const auto unsupervised = run_wordcount(17, 12, bare);
+
+  resilience::ControllerSupervisor supervised(
+      std::make_unique<core::DragsterController>(core::DragsterOptions{}),
+      resilience::SupervisorOptions{});
+  const auto wrapped = run_wordcount(17, 12, supervised);
+
+  expect_identical(unsupervised, wrapped);
+  ASSERT_TRUE(wrapped.supervisor.has_value());
+  EXPECT_EQ(wrapped.supervisor->invariant_trips, 0u);
+  EXPECT_EQ(wrapped.supervisor->safe_mode_slots, 0u);
+}
+
+TEST(Determinism, CrashRecoveryRunsAreReproducible) {
+  auto run_once = [] {
+    resilience::SupervisorOptions options;
+    options.snapshot_every = 3;
+    resilience::ControllerSupervisor supervised(
+        std::make_unique<core::DragsterController>(core::DragsterOptions{}), options);
+    faults::FaultInjector injector(faults::FaultPlan::parse("ctrlcrash@6"));
+    return run_wordcount(9, 14, supervised, &injector);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  expect_identical(a, b);
+  ASSERT_TRUE(a.supervisor.has_value());
+  ASSERT_TRUE(b.supervisor.has_value());
+  EXPECT_EQ(a.supervisor->restores, b.supervisor->restores);
+  EXPECT_EQ(a.supervisor->replayed_frames, b.supervisor->replayed_frames);
+  EXPECT_EQ(a.supervisor->safe_mode_slots, b.supervisor->safe_mode_slots);
+}
+
+}  // namespace
+}  // namespace dragster

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "core/dragster_controller.hpp"
 #include "experiments/scenario.hpp"
 #include "faults/fault_injector.hpp"
@@ -122,6 +123,39 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW((void)FaultPlan::parse("straggler@3*1.5:w"), std::invalid_argument);
   EXPECT_THROW((void)FaultPlan::parse("straggler@3+0*0.5:w"), std::invalid_argument);
   EXPECT_THROW((void)FaultPlan::parse("crash@3#w"), std::invalid_argument);      // bad tag
+}
+
+TEST(FaultPlan, ParsesControllerCrashAndRoundTrips) {
+  const FaultPlan plan = FaultPlan::parse("ctrlcrash@25");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kControllerCrash);
+  EXPECT_EQ(plan.events()[0].slot, 25u);
+  EXPECT_TRUE(plan.events()[0].op.empty());
+  EXPECT_EQ(plan.to_string(), "ctrlcrash@25");
+  // The event is control-plane only: no operator target, no window.
+  EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@5:map"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@5+2"), Error);
+}
+
+TEST(FaultPlan, MalformedSpecsThrowErrorQuotingTheToken) {
+  auto expect_error = [](const std::string& spec, const std::string& quoted) {
+    SCOPED_TRACE(spec);
+    try {
+      (void)FaultPlan::parse(spec);
+      FAIL() << "expected dragster::Error";
+    } catch (const Error& error) {
+      EXPECT_NE(std::string(error.what()).find("'" + quoted + "'"), std::string::npos)
+          << error.what();
+    }
+  };
+  expect_error("meteor@3:w", "meteor");                      // unknown kind
+  expect_error("crash@-5:w", "crash@-5:w");                  // negative slot
+  expect_error("crash@5.5:w", "5.5");                        // fractional slot
+  expect_error("dropout@4+2.5:w", "2.5");                    // fractional duration
+  expect_error("dropout@4+-2:w", "dropout@4+-2:w");          // negative duration
+  expect_error("crash@1..2:w", "1..2");                      // malformed number
+  expect_error("crash@99999999999999999999:w", "99999999999999999999");  // overflow
+  expect_error("crash@3#w", "#");                            // unknown tag
 }
 
 TEST(FaultPlan, SampleIsDeterministicAndRespectsWarmup) {
@@ -270,6 +304,28 @@ TEST(FaultInjector, MetricDropoutGoesStaleThenRecovers) {
   sim.engine->run_slot();
   EXPECT_FALSE(sim.metrics().metrics_stale);
   EXPECT_GT(sim.metrics().observed_capacity, 0.0);
+}
+
+TEST(FaultInjector, ControllerCrashSetsFlagOnceAndLeavesEngineAlone) {
+  ChaosSim sim(800.0);
+  FaultInjector injector(FaultPlan::parse("ctrlcrash@1"));
+
+  injector.before_slot(*sim.engine);  // slot 0: nothing scheduled
+  sim.engine->run_slot();
+  EXPECT_FALSE(injector.consume_controller_crash());
+
+  injector.before_slot(*sim.engine);  // slot 1: the crash fires
+  sim.engine->run_slot();
+  // Control-plane fault only: the data plane keeps its tasks and reports no
+  // taint or staleness.
+  EXPECT_EQ(sim.metrics().tasks, 1);
+  EXPECT_FALSE(sim.metrics().fault_tainted);
+  EXPECT_FALSE(sim.metrics().metrics_stale);
+  EXPECT_TRUE(injector.consume_controller_crash());
+  EXPECT_FALSE(injector.consume_controller_crash());  // consuming clears it
+
+  ASSERT_EQ(injector.applied().size(), 1u);
+  EXPECT_EQ(injector.applied()[0].event.kind, FaultKind::kControllerCrash);
 }
 
 // ---------------------------------------------------------------------------

@@ -152,6 +152,41 @@ TEST(Cholesky, ExtendMatchesFullFactorization) {
   EXPECT_LT(max_abs_diff(x1, x2), 1e-9);
 }
 
+TEST(Cholesky, NearSingularFactorsWithJitterAndSolves) {
+  // Rank-2 3x3 (two identical rows): positive definite only through the
+  // escalating jitter, and the jittered factor must still solve accurately
+  // at the jitter's scale.
+  const Matrix a{{1.0, 1.0, 0.0}, {1.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  const Cholesky chol(a, 1e-8);
+  const Vector x = chol.solve({2.0, 2.0, 2.0});
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_NEAR(x[0] + x[1], 2.0, 1e-4);
+  EXPECT_NEAR(2.0 * x[2], 2.0, 1e-6);
+}
+
+TEST(Cholesky, IndefiniteErrorReportsFinalJitter) {
+  // The exception must say how much jitter was tried so GP debugging does
+  // not start from a bare "not positive definite".
+  const Matrix a{{1.0, 0.0}, {0.0, -5.0}};
+  try {
+    const Cholesky chol(a);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("jitter"), std::string::npos) << error.what();
+  }
+}
+
+TEST(Cholesky, ExtendWithDuplicatePointStaysFinite) {
+  // Extending with an exact copy of an existing column drives the new pivot
+  // to zero — the duplicate-observation case the GP can feed it.  The
+  // escalating jitter must produce a finite, positive pivot, never NaN.
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  Cholesky chol(a);
+  chol.extend({2.0, 1.0}, 2.0);
+  EXPECT_TRUE(std::isfinite(chol.factor()(2, 2)));
+  EXPECT_GT(chol.factor()(2, 2), 0.0);
+}
+
 class CholeskyRandomSolve : public ::testing::TestWithParam<int> {};
 
 TEST_P(CholeskyRandomSolve, ResidualIsTiny) {

@@ -73,6 +73,28 @@ TEST(DualState, IgnoresNonFiniteEntriesAndResets) {
   EXPECT_EQ(dual.slot(), 0u);
 }
 
+TEST(DualState, CountsSkippedNonFiniteConstraintEntries) {
+  // The supervisor's health check watches this counter: every NaN/inf entry
+  // the update skipped must be counted, cumulatively and per update.
+  DualState dual(3, 1.0, false);
+  EXPECT_EQ(dual.non_finite_observations(), 0u);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  dual.update(std::vector<double>{nan, 1.0, inf});
+  EXPECT_EQ(dual.non_finite_observations(), 2u);
+  EXPECT_EQ(dual.last_update_non_finite(), 2u);
+  EXPECT_DOUBLE_EQ(dual.lambda()[1], 1.0);  // finite entry still applied
+  dual.update(std::vector<double>{1.0, 1.0, 1.0});
+  EXPECT_EQ(dual.non_finite_observations(), 2u);  // cumulative, unchanged
+  EXPECT_EQ(dual.last_update_non_finite(), 0u);   // per-update view resets
+  dual.update(std::vector<double>{-inf, 0.0, 0.0});
+  EXPECT_EQ(dual.non_finite_observations(), 3u);
+  EXPECT_EQ(dual.last_update_non_finite(), 1u);
+  dual.reset();
+  EXPECT_EQ(dual.non_finite_observations(), 0u);
+  EXPECT_EQ(dual.last_update_non_finite(), 0u);
+}
+
 TEST(Budget, MaxTasksAndFeasibility) {
   Budget budget(1.6, 0.10);  // the paper's tight budget: 16 pods
   EXPECT_TRUE(budget.limited());
