@@ -53,6 +53,35 @@ int Cluster::total_pods() const noexcept {
   return total;
 }
 
+bool Cluster::try_admit(int extra_pods, double extra_cost_rate) const noexcept {
+  if (admission_outage_) return false;
+  if (limits_.max_total_pods > 0 &&
+      total_pods() + total_pending() + extra_pods > limits_.max_total_pods)
+    return false;
+  if (limits_.max_cost_rate_per_hour > 0.0 &&
+      cost_rate_per_hour() + extra_cost_rate > limits_.max_cost_rate_per_hour * (1.0 + 1e-9))
+    return false;
+  return true;
+}
+
+void Cluster::set_pending(const std::string& name, int pending) {
+  DRAGSTER_REQUIRE(pending >= 0, "pending pod count cannot be negative");
+  deployment_mutable(name).pending = pending;
+}
+
+int Cluster::pending_pods(const std::string& name) const {
+  return deployment(name).pending;
+}
+
+int Cluster::total_pending() const noexcept {
+  int total = 0;
+  for (const auto& [name, d] : deployments_) {
+    (void)name;
+    total += d.pending;
+  }
+  return total;
+}
+
 double Cluster::cost_rate_per_hour() const noexcept {
   double rate = 0.0;
   for (const auto& [name, d] : deployments_) {

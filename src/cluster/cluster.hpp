@@ -20,6 +20,18 @@ struct Deployment {
   std::string name;
   int replicas = 1;
   PodSpec spec;
+  /// Pods requested but not yet Running (the actuation layer's ledger).
+  /// Pending pods count against the admission cap but do not bill: the cloud
+  /// charges for scheduled capacity, and capacity follows `replicas`.
+  int pending = 0;
+};
+
+/// Cluster-wide admission caps checked before new pods are scheduled.
+/// Zero means unlimited — the default keeps every pre-actuation call site
+/// behaving as before.
+struct AdmissionLimits {
+  int max_total_pods = 0;
+  double max_cost_rate_per_hour = 0.0;
 };
 
 class Cluster {
@@ -40,6 +52,26 @@ class Cluster {
 
   [[nodiscard]] int total_pods() const noexcept;
 
+  // -- admission gate & pending-pod ledger (K8s scheduler analogue) ---------
+
+  void set_admission_limits(AdmissionLimits limits) noexcept { limits_ = limits; }
+  [[nodiscard]] const AdmissionLimits& admission_limits() const noexcept { return limits_; }
+
+  /// While an outage is active every try_admit() is rejected — the
+  /// `schedfail` fault seam (API server down / quota freeze).
+  void set_admission_outage(bool active) noexcept { admission_outage_ = active; }
+  [[nodiscard]] bool admission_outage() const noexcept { return admission_outage_; }
+
+  /// Whether `extra_pods` new pods at `extra_cost_rate` $/h would clear the
+  /// outage flag, the pod-count cap (running + pending + extra), and the
+  /// spend-rate cap.  Pure check; nothing is reserved.
+  [[nodiscard]] bool try_admit(int extra_pods, double extra_cost_rate) const noexcept;
+
+  /// Records how many requested pods of a deployment are still Pending.
+  void set_pending(const std::string& name, int pending);
+  [[nodiscard]] int pending_pods(const std::string& name) const;
+  [[nodiscard]] int total_pending() const noexcept;
+
   /// Current spend rate in $/hour across all deployments.
   [[nodiscard]] double cost_rate_per_hour() const noexcept;
 
@@ -56,6 +88,8 @@ class Cluster {
 
   PricingModel pricing_;
   std::map<std::string, Deployment> deployments_;
+  AdmissionLimits limits_;
+  bool admission_outage_ = false;
   double accrued_cost_ = 0.0;
 };
 

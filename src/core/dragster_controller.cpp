@@ -314,7 +314,14 @@ void DragsterController::repair_lost_pods(const streamsim::JobMonitor& monitor,
   // information.  Re-issue the last target instead of letting the slot-two
   // loop chase the crashed configuration; the tainted observation was
   // already rejected, so the GP posterior is unaffected.
+  //
+  // A rescale still in flight is not damage: the mismatch is the actuation
+  // layer mid-apply, and re-issuing would either spam duplicate commands or
+  // — worse — land a stale target after a newer decision.  Routing repairs
+  // through the actuator's epoch fence (in_flight + target dedupe) makes a
+  // late-landing repair structurally unable to clobber a newer epoch.
   for (const auto& [id, tasks] : commanded_tasks_) {
+    if (actuator.in_flight(id)) continue;
     if (monitor.tasks(id) != tasks) actuator.set_tasks(id, tasks);
     const cluster::PodSpec spec = commanded_spec_.at(id);
     if (!(monitor.pod_spec(id) == spec)) actuator.set_pod_spec(id, spec);

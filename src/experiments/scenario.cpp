@@ -10,13 +10,19 @@ namespace dragster::experiments {
 
 RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                        const ScenarioOptions& options, const std::string& workload_name,
-                       faults::FaultInjector* injector) {
+                       faults::FaultInjector* injector,
+                       actuation::ActuationManager* actuation) {
   RunResult result;
   result.controller = controller.name();
   result.workload = workload_name;
 
+  // With a manager the controller never touches the engine directly: every
+  // action goes through the epoch fence and the async pod lifecycle.
+  streamsim::ScalingActuator& actuator =
+      actuation != nullptr ? static_cast<streamsim::ScalingActuator&>(*actuation)
+                           : static_cast<streamsim::ScalingActuator&>(engine);
   const streamsim::JobMonitor monitor = engine.monitor();
-  controller.initialize(monitor, engine);
+  controller.initialize(monitor, actuator);
 
   const baselines::Oracle oracle(engine);
   const auto& dag = engine.dag();
@@ -39,15 +45,16 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
   auto* supervised = dynamic_cast<resilience::ControllerSupervisor*>(&controller);
 
   for (std::size_t t = 0; t < options.slots; ++t) {
-    if (injector != nullptr) injector->before_slot(engine);
+    if (injector != nullptr) injector->before_slot(engine, actuation);
+    if (actuation != nullptr) actuation->begin_slot();
     const streamsim::SlotReport& report = engine.run_slot();
     if (injector != nullptr && injector->consume_controller_crash()) {
       if (supervised != nullptr)
         supervised->inject_crash();
       else
-        controller.initialize(monitor, engine);  // amnesiac restart
+        controller.initialize(monitor, actuator);  // amnesiac restart
     }
-    controller.on_slot(monitor, engine);
+    controller.on_slot(monitor, actuator);
 
     SlotSummary summary;
     summary.slot = t;
@@ -94,6 +101,7 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                                  options.recovery);
   }
   if (supervised != nullptr) result.supervisor = supervised->stats();
+  if (actuation != nullptr) result.actuation = actuation->operator_stats();
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "actuation/actuation.hpp"
 #include "baselines/oracle.hpp"
 #include "core/controller.hpp"
 #include "faults/fault_injector.hpp"
@@ -55,6 +56,10 @@ struct RunResult {
   /// Present when the controller was a resilience::ControllerSupervisor:
   /// its crash/snapshot/safe-mode counters at the end of the run.
   std::optional<resilience::SupervisorStats> supervisor;
+  /// Present when the run went through an actuation::ActuationManager:
+  /// per-operator counters (epochs issued/retried/rolled back, mean slots
+  /// from issue to fully Running) at the end of the run.
+  std::vector<actuation::OperatorStats> actuation;
 };
 
 struct ScenarioOptions {
@@ -72,10 +77,15 @@ struct ScenarioOptions {
 /// `ctrlcrash` events are delivered to the controller itself: a supervised
 /// controller gets inject_crash() (snapshot restore + safe mode), a bare one
 /// is re-initialize()d — the amnesiac-restart baseline.
+/// With an `actuation` manager, the controller's actions route through it
+/// instead of the engine (per-slot order: injector -> actuation reconcile ->
+/// engine -> controller) and the result carries per-operator actuation
+/// stats.
 [[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                      const ScenarioOptions& options,
                                      const std::string& workload_name = "",
-                                     faults::FaultInjector* injector = nullptr);
+                                     faults::FaultInjector* injector = nullptr,
+                                     actuation::ActuationManager* actuation = nullptr);
 
 /// First slot index in [from, to) that starts `persistence` consecutive
 /// near-optimal slots AND from which at least 75% of the window's remaining

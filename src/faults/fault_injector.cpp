@@ -26,7 +26,16 @@ double straggler_factor(int tasks, double f) {
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
 
-void FaultInjector::before_slot(streamsim::Engine& engine) {
+void FaultInjector::before_slot(streamsim::Engine& engine,
+                                actuation::ActuationManager* actuation) {
+  bool has_scheduler_faults = false;
+  for (const FaultEvent& event : plan_.events())
+    has_scheduler_faults = has_scheduler_faults ||
+                           event.kind == FaultKind::kSchedulerOutage ||
+                           event.kind == FaultKind::kSchedulerDelay;
+  DRAGSTER_REQUIRE(!has_scheduler_faults || actuation != nullptr,
+                   "plan has schedfail/scheddelay events but no ActuationManager "
+                   "is attached to before_slot()");
   const std::size_t slot = engine.slots_run();
 
   // Close expired windows first so a back-to-back event can re-open them.
@@ -34,6 +43,8 @@ void FaultInjector::before_slot(streamsim::Engine& engine) {
     if (it->end_slot <= slot) {
       if (it->kind == FaultKind::kStraggler) engine.set_capacity_degradation(it->op, 1.0);
       if (it->kind == FaultKind::kMetricDropout) engine.set_metric_dropout(it->op, false);
+      if (it->kind == FaultKind::kSchedulerOutage) actuation->set_admission_outage(false);
+      if (it->kind == FaultKind::kSchedulerDelay) actuation->set_latency_multiplier(1.0);
       it = active_.erase(it);
     } else {
       ++it;
@@ -70,6 +81,16 @@ void FaultInjector::before_slot(streamsim::Engine& engine) {
         // Control-plane only: nothing to do to the engine.  The experiment
         // loop polls consume_controller_crash() after the slot runs.
         controller_crash_pending_ = true;
+        break;
+      case FaultKind::kSchedulerOutage:
+        actuation->set_admission_outage(true);
+        active_.push_back(
+            {FaultKind::kSchedulerOutage, 0, slot + event.duration_slots, 0.0});
+        break;
+      case FaultKind::kSchedulerDelay:
+        actuation->set_latency_multiplier(event.value);
+        active_.push_back(
+            {FaultKind::kSchedulerDelay, 0, slot + event.duration_slots, event.value});
         break;
     }
     applied_.push_back(std::move(record));

@@ -14,6 +14,10 @@
 //                         (pause extended) or aborts past the cap
 //   * metric dropout   -> Engine::set_metric_dropout; the MetricsServer
 //                         returns stale/no samples for the window
+//   * scheduler outage -> ActuationManager::set_admission_outage; every
+//                         admission check is rejected for the window
+//   * scheduler delay  -> ActuationManager::set_latency_multiplier; pods
+//                         drawn during the window schedule slower
 //
 // Every applied event is recorded with its slot and resolved node so
 // experiment harnesses can attach the fault timeline to their results.
@@ -21,6 +25,7 @@
 
 #include <vector>
 
+#include "actuation/actuation.hpp"
 #include "faults/fault_plan.hpp"
 #include "streamsim/engine.hpp"
 
@@ -38,9 +43,13 @@ class FaultInjector {
 
   /// Applies every event scheduled for the slot the engine is about to run
   /// (`engine.slots_run()` is the upcoming index) and maintains active
-  /// straggler/dropout windows.  Throws if an event names an unknown
-  /// operator.  Call once per slot, before Engine::run_slot().
-  void before_slot(streamsim::Engine& engine);
+  /// straggler/dropout/scheduler windows.  Throws if an event names an
+  /// unknown operator, or if the plan contains scheduler faults
+  /// (schedfail/scheddelay) and no `actuation` manager is attached.  Call
+  /// once per slot, before ActuationManager::begin_slot() and
+  /// Engine::run_slot().
+  void before_slot(streamsim::Engine& engine,
+                   actuation::ActuationManager* actuation = nullptr);
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const std::vector<AppliedFault>& applied() const noexcept { return applied_; }

@@ -17,6 +17,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kCheckpointFailure: return "ckptfail";
     case FaultKind::kMetricDropout: return "dropout";
     case FaultKind::kControllerCrash: return "ctrlcrash";
+    case FaultKind::kSchedulerOutage: return "schedfail";
+    case FaultKind::kSchedulerDelay: return "scheddelay";
   }
   return "unknown";
 }
@@ -29,6 +31,8 @@ FaultKind kind_from_string(const std::string& word) {
   if (word == "ckptfail") return FaultKind::kCheckpointFailure;
   if (word == "dropout") return FaultKind::kMetricDropout;
   if (word == "ctrlcrash") return FaultKind::kControllerCrash;
+  if (word == "schedfail") return FaultKind::kSchedulerOutage;
+  if (word == "scheddelay") return FaultKind::kSchedulerDelay;
   DRAGSTER_REQUIRE(false, "unknown fault kind '" + word + "'");
 }
 
@@ -54,6 +58,15 @@ void check_event(FaultEvent& event) {
     case FaultKind::kControllerCrash:
       DRAGSTER_REQUIRE(event.op.empty(), "ctrlcrash takes no ':operator' target");
       DRAGSTER_REQUIRE(event.duration_slots == 1, "ctrlcrash has no duration window");
+      break;
+    case FaultKind::kSchedulerOutage:
+      DRAGSTER_REQUIRE(event.op.empty(), "schedfail takes no ':operator' target");
+      DRAGSTER_REQUIRE(event.value == 0.0, "schedfail takes no '*value'");
+      break;
+    case FaultKind::kSchedulerDelay:
+      DRAGSTER_REQUIRE(event.op.empty(), "scheddelay takes no ':operator' target");
+      DRAGSTER_REQUIRE(event.value > 1.0,
+                       "scheddelay multiplier must be greater than 1");
       break;
   }
 }
@@ -105,6 +118,7 @@ FaultEvent parse_event(const std::string& text) {
   // Defaults chosen so the short forms read naturally.
   if (event.kind == FaultKind::kStraggler) event.value = 0.25;
   if (event.kind == FaultKind::kCheckpointFailure) event.value = 1.0;
+  if (event.kind == FaultKind::kSchedulerDelay) event.value = 2.0;
 
   std::size_t pos = at + 1;
   event.slot = parse_index(text, pos, "slot");
@@ -134,6 +148,7 @@ std::string FaultEvent::to_string() const {
   oss << faults::to_string(kind) << '@' << slot;
   if (duration_slots != 1) oss << '+' << duration_slots;
   if (kind == FaultKind::kStraggler || kind == FaultKind::kCheckpointFailure ||
+      kind == FaultKind::kSchedulerDelay ||
       (kind == FaultKind::kPodCrash && value != 1.0)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", value);
@@ -194,6 +209,11 @@ FaultPlan FaultPlan::sample(common::Rng& rng, const SampleOptions& options) {
       events.push_back({FaultKind::kMetricDropout, slot, pick_window(), 0.0, pick_op()});
     if (rng.bernoulli(options.ctrlcrash_prob))
       events.push_back({FaultKind::kControllerCrash, slot, 1, 0.0, ""});
+    if (rng.bernoulli(options.schedfail_prob))
+      events.push_back({FaultKind::kSchedulerOutage, slot, pick_window(), 0.0, ""});
+    if (rng.bernoulli(options.scheddelay_prob))
+      events.push_back(
+          {FaultKind::kSchedulerDelay, slot, pick_window(), options.scheddelay_factor, ""});
   }
   return FaultPlan(std::move(events));
 }

@@ -9,6 +9,7 @@
 //   spec   := event (';' event)*
 //   event  := kind '@' slot ['+' duration] ['*' value] [':' operator]
 //   kind   := 'crash' | 'straggler' | 'ckptfail' | 'dropout' | 'ctrlcrash'
+//          | 'schedfail' | 'scheddelay'
 //
 //   crash@20:shuffle_count          one pod of shuffle_count dies at slot 20
 //   crash@20*2:shuffle_count        two pods die at once
@@ -17,6 +18,12 @@
 //   dropout@48+3:shuffle_count      metrics stale/absent for 3 slots
 //   ctrlcrash@25                    the controller process dies at slot 25
 //                                   (control plane only; the job keeps running)
+//   schedfail@12+6                  admission rejects all new pods for 6 slots
+//                                   (API server / quota outage; cluster-wide)
+//   scheddelay@20+4*3               pod scheduling latency x3 for 4 slots
+//
+// schedfail / scheddelay target the actuation layer: they require an
+// actuation::ActuationManager to be attached to the injector call.
 //
 // Plans may also be sampled from the seeded common::Rng (FaultPlan::sample)
 // so randomized chaos runs stay reproducible bit-for-bit from one uint64.
@@ -34,7 +41,9 @@ enum class FaultKind {
   kStraggler,
   kCheckpointFailure,
   kMetricDropout,
-  kControllerCrash,  ///< the controller process dies; the data plane is untouched
+  kControllerCrash,   ///< the controller process dies; the data plane is untouched
+  kSchedulerOutage,   ///< admission rejects all new pods for the window
+  kSchedulerDelay,    ///< pod scheduling latency multiplied for the window
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -46,6 +55,7 @@ struct FaultEvent {
   /// Pod crash: pods to kill (>= 1; 0 is normalized to 1).
   /// Straggler: the slowed task's relative rate in (0, 1).
   /// Checkpoint failure: number of failed attempts before success (>= 1).
+  /// Scheduler delay: latency multiplier (> 1).
   double value = 0.0;
   std::string op;                  ///< operator name; empty for ckptfail
 
@@ -72,8 +82,11 @@ class FaultPlan {
     double ckptfail_prob = 0.02;
     double dropout_prob = 0.02;
     double ctrlcrash_prob = 0.0;          ///< off unless the run is supervised
+    double schedfail_prob = 0.0;          ///< off unless the run has actuation
+    double scheddelay_prob = 0.0;
     std::size_t max_window_slots = 3;     ///< straggler/dropout durations in [1, max]
     double straggler_factor = 0.3;
+    double scheddelay_factor = 3.0;       ///< latency multiplier (> 1)
     int ckpt_retries = 2;
     std::vector<std::string> operators;   ///< candidate target names (non-empty)
   };

@@ -36,6 +36,21 @@ void BufferedActuator::commit(streamsim::ScalingActuator& target) const {
   }
 }
 
+namespace {
+
+/// True when any buffered action opens a *new* actuation epoch — re-issues
+/// aimed at an operator whose rescale is still in flight are absorbed by the
+/// actuator's dedupe fence and must not count toward the flapping window.
+bool targets_new_epoch(const BufferedActuator& buffer,
+                       const streamsim::ScalingActuator& actuator) {
+  bool any = false;
+  for (const ScalingAction& action : buffer.actions())
+    any = any || !actuator.in_flight(action.op);
+  return any;
+}
+
+}  // namespace
+
 const char* to_string(SupervisorState state) {
   switch (state) {
     case SupervisorState::kHealthy: return "healthy";
@@ -128,13 +143,15 @@ void ControllerSupervisor::on_slot(const streamsim::JobMonitor& monitor,
   // Healthy: run the inner controller against the live monitor, gate the
   // decision, commit it unchanged — bit-transparent when nothing trips.
   const std::size_t nf_before = inner_non_finite();
-  BufferedActuator buffer;
+  BufferedActuator buffer(&actuator);
   inner_->on_slot(monitor, buffer);
-  const std::optional<HealthViolation> violation = validate(buffer, frame, nf_before);
+  const bool real_change = targets_new_epoch(buffer, actuator);
+  const std::optional<HealthViolation> violation =
+      validate(buffer, frame, nf_before, real_change);
   if (!violation.has_value()) {
     buffer.commit(actuator);
     adopt_actions(buffer);
-    consecutive_reconfigs_ = buffer.empty() ? 0 : consecutive_reconfigs_ + 1;
+    consecutive_reconfigs_ = real_change ? consecutive_reconfigs_ + 1 : 0;
     journal_.push_back(std::move(frame));
     if (options_.enable_snapshots && snapshotable_ != nullptr &&
         ++slots_since_snapshot_ >= options_.snapshot_every)
@@ -185,7 +202,7 @@ std::optional<HealthViolation> ControllerSupervisor::validate_actions(
 
 std::optional<HealthViolation> ControllerSupervisor::validate(
     const BufferedActuator& buffer, const streamsim::MonitorFrame& frame,
-    std::size_t nf_before) const {
+    std::size_t nf_before, bool real_change) const {
   if (const auto* dragster = dynamic_cast<const core::DragsterController*>(inner_.get())) {
     for (double target : dragster->last_targets())
       if (!std::isfinite(target)) return HealthViolation::kNonFiniteTarget;
@@ -197,7 +214,7 @@ std::optional<HealthViolation> ControllerSupervisor::validate(
       return HealthViolation::kNonFiniteObservations;
   }
   if (const auto violation = validate_actions(buffer, frame)) return violation;
-  if (!buffer.empty() && slots_seen_ > options_.flap_warmup &&
+  if (real_change && slots_seen_ > options_.flap_warmup &&
       consecutive_reconfigs_ + 1 >= options_.flap_window)
     return HealthViolation::kReconfigFlapping;
   return std::nullopt;
@@ -260,12 +277,13 @@ bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
   // and simply shadow-steps the newest frame below.
   const std::size_t nf_before = inner_non_finite();
   streamsim::JobMonitor shadow(newest);
-  BufferedActuator buffer;
+  BufferedActuator buffer(&actuator);
   inner_->on_slot(shadow, buffer);
-  if (validate(buffer, newest, nf_before).has_value()) return false;
+  const bool real_change = targets_new_epoch(buffer, actuator);
+  if (validate(buffer, newest, nf_before, real_change).has_value()) return false;
   buffer.commit(actuator);
   adopt_actions(buffer);
-  consecutive_reconfigs_ = buffer.empty() ? 0 : consecutive_reconfigs_ + 1;
+  consecutive_reconfigs_ = real_change ? consecutive_reconfigs_ + 1 : 0;
   for (streamsim::MonitorFrame& consumed : pending_) journal_.push_back(std::move(consumed));
   pending_.clear();
   if (options_.enable_snapshots && snapshotable_ != nullptr) take_snapshot();
@@ -287,7 +305,7 @@ void ControllerSupervisor::run_rule_fallback(streamsim::ScalingActuator& actuato
     NullActuator sink;
     fallback_->initialize(view, sink);
   }
-  BufferedActuator buffer;
+  BufferedActuator buffer(&actuator);
   fallback_->on_slot(view, buffer);
   if (!validate_actions(buffer, newest).has_value()) {
     buffer.commit(actuator);

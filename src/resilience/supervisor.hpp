@@ -48,8 +48,18 @@ struct ScalingAction {
 /// the controller having driven the target actuator directly.
 class BufferedActuator final : public streamsim::ScalingActuator {
  public:
+  /// `fence` is the actuator the buffer will eventually commit to; in_flight
+  /// queries are forwarded to it so a buffered controller sees the same
+  /// epoch-fence state as one driving the target directly.  Defaults to
+  /// nullptr (no in-flight state — the pre-actuation behavior).
+  explicit BufferedActuator(const streamsim::ScalingActuator* fence = nullptr)
+      : fence_(fence) {}
+
   void set_tasks(dag::NodeId op, int tasks) override;
   void set_pod_spec(dag::NodeId op, cluster::PodSpec spec) override;
+  [[nodiscard]] bool in_flight(dag::NodeId op) const override {
+    return fence_ != nullptr && fence_->in_flight(op);
+  }
 
   [[nodiscard]] const std::vector<ScalingAction>& actions() const noexcept { return actions_; }
   [[nodiscard]] bool empty() const noexcept { return actions_.empty(); }
@@ -58,6 +68,7 @@ class BufferedActuator final : public streamsim::ScalingActuator {
 
  private:
   std::vector<ScalingAction> actions_;
+  const streamsim::ScalingActuator* fence_ = nullptr;
 };
 
 /// Swallows actions.  Used when replaying journaled slots into a restored
@@ -149,10 +160,13 @@ class ControllerSupervisor final : public core::Controller {
       const BufferedActuator& buffer, const streamsim::MonitorFrame& frame) const;
   /// Full decision check: actions plus the inner controller's internals
   /// (finite targets/multipliers, `nf_before` non-finite watermark) and the
-  /// reconfiguration-rate hysteresis.
+  /// reconfiguration-rate hysteresis.  `real_change` is false when every
+  /// buffered action targets an operator whose rescale is still in flight —
+  /// holding course through a slow actuation is not flapping.
   [[nodiscard]] std::optional<HealthViolation> validate(const BufferedActuator& buffer,
                                                         const streamsim::MonitorFrame& frame,
-                                                        std::size_t nf_before) const;
+                                                        std::size_t nf_before,
+                                                        bool real_change) const;
   [[nodiscard]] std::size_t inner_non_finite() const;
   void take_snapshot();
   /// Rebuild the inner controller at its last trusted state, replay every

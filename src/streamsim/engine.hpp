@@ -112,6 +112,15 @@ class ScalingActuator {
   virtual ~ScalingActuator() = default;
   virtual void set_tasks(dag::NodeId op, int tasks) = 0;
   virtual void set_pod_spec(dag::NodeId op, cluster::PodSpec spec) = 0;
+
+  /// True while an earlier decision for `op` is still being actuated (pods
+  /// pending, retries outstanding).  Instant actuators — the Engine itself —
+  /// apply synchronously, so the default is false.  Controllers use this to
+  /// tell "damage to repair" apart from "rescale still in progress".
+  [[nodiscard]] virtual bool in_flight(dag::NodeId op) const {
+    (void)op;
+    return false;
+  }
 };
 
 class Engine;
@@ -217,6 +226,12 @@ class Engine final : public ScalingActuator {
   [[nodiscard]] double total_cost() const noexcept { return cluster_.accrued_cost(); }
   [[nodiscard]] const EngineOptions& options() const noexcept { return options_; }
   [[nodiscard]] JobMonitor monitor() const { return JobMonitor(*this); }
+
+  /// Pod ledger / admission gate.  Exposed for the actuation layer, which
+  /// tracks pending pods and consults admission caps; controllers still see
+  /// only the JobMonitor.
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const noexcept { return cluster_; }
 
   // -- ground truth (oracle/evaluation only; hidden from controllers) -------
   [[nodiscard]] double true_capacity(dag::NodeId op, int tasks,

@@ -7,6 +7,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "actuation/actuation.hpp"
 #include "core/dragster_controller.hpp"
 #include "experiments/scenario.hpp"
 #include "faults/fault_injector.hpp"
@@ -43,6 +44,20 @@ experiments::RunResult run_wordcount(std::uint64_t seed, std::size_t slots,
   experiments::ScenarioOptions options;
   options.slots = slots;
   return experiments::run_scenario(engine, controller, options, spec.name, injector);
+}
+
+/// Same run, but every controller action routes through an ActuationManager.
+experiments::RunResult run_wordcount_managed(std::uint64_t seed, std::size_t slots,
+                                             core::Controller& controller,
+                                             const actuation::ActuationOptions& aopts,
+                                             faults::FaultInjector* injector = nullptr) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+  actuation::ActuationManager manager(engine, aopts, seed);
+  experiments::ScenarioOptions options;
+  options.slots = slots;
+  return experiments::run_scenario(engine, controller, options, spec.name, injector,
+                                   &manager);
 }
 
 TEST(Determinism, SameSeedRunsAreBitIdentical) {
@@ -87,6 +102,56 @@ TEST(Determinism, CrashRecoveryRunsAreReproducible) {
   EXPECT_EQ(a.supervisor->restores, b.supervisor->restores);
   EXPECT_EQ(a.supervisor->replayed_frames, b.supervisor->replayed_frames);
   EXPECT_EQ(a.supervisor->safe_mode_slots, b.supervisor->safe_mode_slots);
+}
+
+TEST(Determinism, ZeroLatencyManagedRunMatchesDirectApplyBitForBit) {
+  // With zero scheduling latency, no admission limits and no faults, every
+  // operation completes synchronously inside the actuator call — the
+  // manager-mediated run must be indistinguishable from driving the engine.
+  core::DragsterController direct{core::DragsterOptions{}};
+  core::DragsterController managed{core::DragsterOptions{}};
+  const auto a = run_wordcount(33, 12, direct);
+  const auto b = run_wordcount_managed(33, 12, managed, actuation::ActuationOptions{});
+  expect_identical(a, b);
+
+  ASSERT_FALSE(b.actuation.empty());
+  for (const auto& stats : b.actuation) {
+    SCOPED_TRACE("operator " + stats.name);
+    EXPECT_EQ(stats.issued, stats.applied);  // everything lands instantly...
+    EXPECT_EQ(stats.rolled_back, 0u);
+    EXPECT_EQ(stats.superseded, 0u);
+    EXPECT_EQ(stats.retried, 0u);
+    EXPECT_DOUBLE_EQ(stats.mean_slots_to_running(), 0.0);  // ...within the call
+  }
+}
+
+TEST(Determinism, AsyncActuationChaosRunsAreReproducible) {
+  auto run_once = [] {
+    core::DragsterController controller{core::DragsterOptions{}};
+    faults::FaultInjector injector(
+        faults::FaultPlan::parse("crash@6:shuffle_count;schedfail@8+3;scheddelay@12+2*3"));
+    actuation::ActuationOptions aopts;
+    aopts.sched_latency_mean_slots = 1.5;
+    aopts.sched_latency_jitter = 0.4;
+    aopts.deadline_slots = 2;
+    aopts.max_retries = 1;
+    return run_wordcount_managed(9, 16, controller, aopts, &injector);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  expect_identical(a, b);
+  ASSERT_EQ(a.actuation.size(), b.actuation.size());
+  for (std::size_t i = 0; i < a.actuation.size(); ++i) {
+    SCOPED_TRACE("operator " + a.actuation[i].name);
+    EXPECT_EQ(a.actuation[i].issued, b.actuation[i].issued);
+    EXPECT_EQ(a.actuation[i].applied, b.actuation[i].applied);
+    EXPECT_EQ(a.actuation[i].rolled_back, b.actuation[i].rolled_back);
+    EXPECT_EQ(a.actuation[i].superseded, b.actuation[i].superseded);
+    EXPECT_EQ(a.actuation[i].retried, b.actuation[i].retried);
+    EXPECT_EQ(a.actuation[i].admission_rejects, b.actuation[i].admission_rejects);
+    EXPECT_EQ(bits(a.actuation[i].slots_to_running_sum),
+              bits(b.actuation[i].slots_to_running_sum));
+  }
 }
 
 }  // namespace

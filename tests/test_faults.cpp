@@ -7,6 +7,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "actuation/actuation.hpp"
 #include "common/error.hpp"
 #include "core/dragster_controller.hpp"
 #include "experiments/scenario.hpp"
@@ -135,6 +136,91 @@ TEST(FaultPlan, ParsesControllerCrashAndRoundTrips) {
   // The event is control-plane only: no operator target, no window.
   EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@5:map"), Error);
   EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@5+2"), Error);
+}
+
+TEST(FaultPlan, ParsesSchedulerFaultsAndRoundTrips) {
+  const FaultPlan plan = FaultPlan::parse("schedfail@10+3;scheddelay@20+4*3");
+  ASSERT_EQ(plan.size(), 2u);
+
+  EXPECT_EQ(plan.events()[0].kind, FaultKind::kSchedulerOutage);
+  EXPECT_EQ(plan.events()[0].slot, 10u);
+  EXPECT_EQ(plan.events()[0].duration_slots, 3u);
+  EXPECT_TRUE(plan.events()[0].op.empty());  // cluster-wide, no target
+
+  EXPECT_EQ(plan.events()[1].kind, FaultKind::kSchedulerDelay);
+  EXPECT_EQ(plan.events()[1].duration_slots, 4u);
+  EXPECT_DOUBLE_EQ(plan.events()[1].value, 3.0);
+
+  EXPECT_EQ(plan.to_string(), "schedfail@10+3;scheddelay@20+4*3");
+  EXPECT_EQ(FaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+
+  // Short forms: one-slot window, default delay multiplier of 2.
+  EXPECT_EQ(FaultPlan::parse("schedfail@5").events()[0].duration_slots, 1u);
+  EXPECT_DOUBLE_EQ(FaultPlan::parse("scheddelay@5").events()[0].value, 2.0);
+  EXPECT_EQ(FaultPlan::parse("scheddelay@5").to_string(), "scheddelay@5*2");
+}
+
+TEST(FaultPlan, SchedulerSpecsRejectMalformedForms) {
+  // Cluster-wide faults: no ':operator' target, and schedfail has no value.
+  EXPECT_THROW((void)FaultPlan::parse("schedfail@5:worker"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("schedfail@5*2"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("scheddelay@5:worker"), Error);
+  // A delay multiplier of 1 (or less) is not a fault.
+  EXPECT_THROW((void)FaultPlan::parse("scheddelay@5*1"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("scheddelay@5*0.5"), Error);
+  EXPECT_THROW((void)FaultPlan::parse("schedfail@5+0"), Error);  // empty window
+}
+
+TEST(FaultInjector, SchedulerFaultsRequireAnActuationManager) {
+  ChaosSim sim(800.0);
+  FaultInjector injector(FaultPlan::parse("schedfail@1+2"));
+  EXPECT_THROW(injector.before_slot(*sim.engine), Error);
+  EXPECT_THROW(injector.before_slot(*sim.engine, nullptr), Error);
+}
+
+TEST(FaultInjector, SchedulerOutageWindowOpensAndCloses) {
+  ChaosSim sim(800.0);
+  actuation::ActuationManager manager(*sim.engine, actuation::ActuationOptions{}, 1);
+  FaultInjector injector(FaultPlan::parse("schedfail@1+2"));
+
+  injector.before_slot(*sim.engine, &manager);  // slot 0: not yet
+  sim.engine->run_slot();
+  EXPECT_TRUE(sim.engine->cluster().try_admit(1, 0.0));
+
+  injector.before_slot(*sim.engine, &manager);  // slot 1: outage opens
+  sim.engine->run_slot();
+  EXPECT_FALSE(sim.engine->cluster().try_admit(1, 0.0));
+  injector.before_slot(*sim.engine, &manager);  // slot 2: still open
+  sim.engine->run_slot();
+  EXPECT_FALSE(sim.engine->cluster().try_admit(1, 0.0));
+
+  injector.before_slot(*sim.engine, &manager);  // slot 3: window closed
+  EXPECT_TRUE(sim.engine->cluster().try_admit(1, 0.0));
+  EXPECT_TRUE(injector.exhausted());
+  ASSERT_EQ(injector.applied().size(), 1u);
+  EXPECT_EQ(injector.applied()[0].event.kind, FaultKind::kSchedulerOutage);
+}
+
+TEST(FaultPlan, SampleCanDrawSchedulerFaults) {
+  FaultPlan::SampleOptions options;
+  options.horizon_slots = 60;
+  options.warmup_slots = 5;
+  options.schedfail_prob = 0.2;
+  options.scheddelay_prob = 0.2;
+  options.operators = {"worker"};
+
+  common::Rng rng(7);
+  const FaultPlan plan = FaultPlan::sample(rng, options);
+  bool saw_outage = false, saw_delay = false;
+  for (const FaultEvent& event : plan.events()) {
+    saw_outage = saw_outage || event.kind == FaultKind::kSchedulerOutage;
+    saw_delay = saw_delay || event.kind == FaultKind::kSchedulerDelay;
+    if (event.kind == FaultKind::kSchedulerDelay) {
+      EXPECT_DOUBLE_EQ(event.value, options.scheddelay_factor);
+    }
+  }
+  EXPECT_TRUE(saw_outage);
+  EXPECT_TRUE(saw_delay);
 }
 
 TEST(FaultPlan, MalformedSpecsThrowErrorQuotingTheToken) {
