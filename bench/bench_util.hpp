@@ -14,9 +14,50 @@
 #include "common/table.hpp"
 #include "core/dragster_controller.hpp"
 #include "experiments/scenario.hpp"
+#include "obs/registry.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dragster::bench {
+
+/// Optional telemetry for any figure binary: `--trace-jsonl run.jsonl`
+/// streams the structured per-slot trace, `--metrics metrics.prom` dumps the
+/// Prometheus exposition at destruction.  With neither flag registry() is
+/// null and the run is telemetry-free, exactly as before.  Pass registry()
+/// as the `obs` argument of run_scenario; runs must be sequential (the
+/// registry is not thread-safe — do not share it across run_parallel jobs).
+class Observability {
+ public:
+  explicit Observability(const common::Flags& flags)
+      : metrics_path_(flags.get("metrics", std::string())) {
+    const std::string trace_path = flags.get("trace-jsonl", std::string());
+    if (trace_path.empty() && metrics_path_.empty()) return;
+    registry_ = std::make_unique<obs::Registry>();
+    if (!trace_path.empty()) {
+      trace_ = std::make_unique<obs::FileTraceSink>(trace_path);
+      registry_->set_trace(trace_.get());
+    }
+  }
+
+  ~Observability() {
+    if (registry_ == nullptr || metrics_path_.empty()) return;
+    if (std::FILE* out = std::fopen(metrics_path_.c_str(), "w")) {
+      const std::string text = registry_->expose();
+      std::fwrite(text.data(), 1, text.size(), out);
+      std::fclose(out);
+      std::printf("metrics written to %s\n", metrics_path_.c_str());
+    }
+  }
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  [[nodiscard]] obs::Registry* registry() noexcept { return registry_.get(); }
+
+ private:
+  std::string metrics_path_;
+  std::unique_ptr<obs::FileTraceSink> trace_;
+  std::unique_ptr<obs::Registry> registry_;
+};
 
 /// The paper's three compared schemes, freshly constructed per run.
 inline std::unique_ptr<core::Controller> make_scheme(const std::string& name,

@@ -23,6 +23,7 @@
 //
 //   ./fig10_actuation [--slots 26] [--fault-slot 12] [--window 6]
 //                     [--seeds 5] [--seed 17] [--json BENCH_fig10.json]
+//                     [--trace-jsonl run.jsonl] [--metrics metrics.prom]
 #include <algorithm>
 #include <fstream>
 #include <map>
@@ -80,7 +81,8 @@ bool check_invariant(const actuation::ActuationManager& manager) {
 
 ArmResult run_arm(const std::string& name, const workloads::WorkloadSpec& spec,
                   std::uint64_t seed, std::size_t slots,
-                  const actuation::ActuationOptions& aopts, const std::string& plan) {
+                  const actuation::ActuationOptions& aopts, const std::string& plan,
+                  obs::Registry* obs = nullptr) {
   streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
   actuation::ActuationManager manager(engine, aopts, seed);
   core::DragsterController controller{core::DragsterOptions{}};
@@ -93,7 +95,7 @@ ArmResult run_arm(const std::string& name, const workloads::WorkloadSpec& spec,
   arm.name = name;
   arm.seed = seed;
   arm.run = experiments::run_scenario(engine, controller, options, spec.name,
-                                      injector ? &*injector : nullptr, &manager);
+                                      injector ? &*injector : nullptr, &manager, obs);
   arm.invariant_ok = check_invariant(manager);
   double to_running_sum = 0.0;
   std::size_t applied = 0;
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
   const auto num_seeds = static_cast<std::size_t>(flags.get("seeds", std::int64_t{5}));
   const auto seed0 = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{17}));
   const std::string json_path = flags.get("json", std::string("BENCH_fig10.json"));
+  bench::Observability obs(flags);
 
   bench::print_header("Figure 10: asynchronous actuation on WordCount", seed0);
   std::printf("pod crash + scheduler outage at slot %zu (window %zu), %zu seeds\n\n",
@@ -160,9 +163,10 @@ int main(int argc, char** argv) {
   std::vector<ArmResult> arms;
   for (std::size_t s = 0; s < num_seeds; ++s) {
     const std::uint64_t seed = seed0 + s;
-    ArmResult instant = run_arm("instant", spec, seed, slots, instant_opts, "");
-    ArmResult async_arm = run_arm("async", spec, seed, slots, async_opts, "");
-    ArmResult fault = run_arm("async-fault", spec, seed, slots, fault_opts, plan);
+    ArmResult instant = run_arm("instant", spec, seed, slots, instant_opts, "", obs.registry());
+    ArmResult async_arm = run_arm("async", spec, seed, slots, async_opts, "", obs.registry());
+    ArmResult fault =
+        run_arm("async-fault", spec, seed, slots, fault_opts, plan, obs.registry());
     score(async_arm, instant.run, fault_slot);
     score(fault, instant.run, fault_slot);
     arms.push_back(std::move(instant));

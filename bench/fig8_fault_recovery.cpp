@@ -10,6 +10,7 @@
 //
 //   ./fig8_fault_recovery [--slots 60] [--seed 17] [--faults <spec>]
 //                         [--csv fig8.csv]
+//                         [--trace-jsonl run.jsonl] [--metrics metrics.prom]
 #include <fstream>
 
 #include "bench_util.hpp"
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{17}));
   const std::string spec_text = flags.get("faults", std::string(kCanonicalPlan));
   const std::string csv_path = flags.get("csv", std::string(""));
+  bench::Observability obs(flags);
 
   bench::print_header("Figure 8: fault recovery on WordCount", seed);
   const faults::FaultPlan plan = faults::FaultPlan::parse(spec_text);
@@ -50,7 +52,8 @@ int main(int argc, char** argv) {
     faults::FaultInjector injector(plan);
     experiments::ScenarioOptions options;
     options.slots = slots;
-    runs.push_back(experiments::run_scenario(engine, *controller, options, spec.name, &injector));
+    runs.push_back(experiments::run_scenario(engine, *controller, options, spec.name, &injector,
+                                             nullptr, obs.registry()));
   }
 
   common::Table table({"scheme", "fault", "pre-fault (x oracle)", "recover (slots)",

@@ -16,6 +16,7 @@
 //
 //   ./fig9_controller_crash [--slots 30] [--crash-slot 12] [--seeds 3]
 //                           [--seed 17] [--json BENCH_fig9.json]
+//                           [--trace-jsonl run.jsonl] [--metrics metrics.prom]
 #include <algorithm>
 #include <fstream>
 #include <optional>
@@ -40,7 +41,8 @@ struct Arm {
 
 experiments::RunResult run_arm(const workloads::WorkloadSpec& spec, std::uint64_t seed,
                                std::size_t slots, std::size_t crash_slot,
-                               core::Controller& controller, bool crash) {
+                               core::Controller& controller, bool crash,
+                               obs::Registry* obs = nullptr) {
   const dag::NodeId source = spec.dag.sources()[0];
   const double high = spec.high_rate.at(source);
   const double slot_s = streamsim::EngineOptions{}.slot_duration_s;
@@ -59,10 +61,13 @@ experiments::RunResult run_arm(const workloads::WorkloadSpec& spec, std::uint64_
 
   experiments::ScenarioOptions options;
   options.slots = slots;
-  if (!crash) return experiments::run_scenario(engine, controller, options, spec.name);
+  if (!crash)
+    return experiments::run_scenario(engine, controller, options, spec.name, nullptr, nullptr,
+                                     obs);
   faults::FaultInjector injector(
       faults::FaultPlan::parse("ctrlcrash@" + std::to_string(crash_slot)));
-  return experiments::run_scenario(engine, controller, options, spec.name, &injector);
+  return experiments::run_scenario(engine, controller, options, spec.name, &injector, nullptr,
+                                   obs);
 }
 
 void score(Arm& arm, const experiments::RunResult& baseline, std::size_t crash_slot) {
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
   const auto num_seeds = static_cast<std::size_t>(flags.get("seeds", std::int64_t{3}));
   const auto seed0 = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{17}));
   const std::string json_path = flags.get("json", std::string("BENCH_fig9.json"));
+  bench::Observability obs(flags);
 
   bench::print_header("Figure 9: controller crash recovery on WordCount", seed0);
   std::printf("crash at slot %zu, rate step at slot %zu, %zu seeds\n\n", crash_slot,
@@ -107,7 +113,8 @@ int main(int argc, char** argv) {
     {
       resilience::ControllerSupervisor controller(make_dragster(),
                                                   resilience::SupervisorOptions{});
-      base.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/false);
+      base.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/false,
+                         obs.registry());
     }
 
     Arm snap{"snapshot", seed, {}, std::nullopt, 0.0};
@@ -115,7 +122,8 @@ int main(int argc, char** argv) {
       resilience::SupervisorOptions options;
       options.snapshot_every = 3;
       resilience::ControllerSupervisor controller(make_dragster(), options);
-      snap.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true);
+      snap.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
+                         obs.registry());
     }
 
     Arm cold{"cold-restart", seed, {}, std::nullopt, 0.0};
@@ -124,7 +132,8 @@ int main(int argc, char** argv) {
       options.enable_snapshots = false;
       options.cold_factory = make_dragster;
       resilience::ControllerSupervisor controller(make_dragster(), options);
-      cold.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true);
+      cold.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
+                         obs.registry());
     }
 
     score(base, base.run, crash_slot);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace dragster::actuation {
 
@@ -91,6 +92,14 @@ void ActuationManager::issue(dag::NodeId op, int desired_tasks,
     ch.live->pods.clear();
     ch.live->ready = 0;
     records_[ch.live->record_index].desired_tasks = desired_tasks;
+    if (obs_ != nullptr) {
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "epoch_amended", static_cast<std::uint64_t>(round_))
+            .field("op", op_name(op))
+            .field("epoch", ch.live->epoch)
+            .field("tasks", desired_tasks);
+      }
+    }
     plan(op, ch);
     return;
   }
@@ -108,6 +117,17 @@ void ActuationManager::issue(dag::NodeId op, int desired_tasks,
   live.record_index = records_.size();
   records_.push_back({op, live.epoch, desired_tasks, round_, 0, EpochOutcome::kInFlight});
   stats_[op].issued += 1;
+  if (obs_ != nullptr) {
+    obs_->counter("actuation_epochs_issued_total", "Actuation epochs opened",
+                  {{"op", op_name(op)}})
+        .inc();
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "epoch_issued", static_cast<std::uint64_t>(round_))
+          .field("op", op_name(op))
+          .field("epoch", live.epoch)
+          .field("tasks", desired_tasks);
+    }
+  }
   ch.live = std::move(live);
   plan(op, ch);
 }
@@ -137,6 +157,17 @@ void ActuationManager::start_attempt(dag::NodeId op, Channel& ch) {
       engine_->cluster().pricing().pod_price_per_hour(live.desired_spec);
   if (!engine_->cluster().try_admit(need, extra_rate)) {
     stats_[op].admission_rejects += 1;
+    if (obs_ != nullptr) {
+      obs_->counter("actuation_admission_rejects_total", "Attempts the admission gate refused",
+                    {{"op", op_name(op)}})
+          .inc();
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "admission_reject", static_cast<std::uint64_t>(round_))
+            .field("op", op_name(op))
+            .field("epoch", live.epoch)
+            .field("pods", need);
+      }
+    }
     fail_attempt(op, ch);
     return;
   }
@@ -202,7 +233,23 @@ void ActuationManager::fail_attempt(dag::NodeId op, Channel& ch) {
   live.backoff_left_slots =
       options_.backoff_base_slots * std::pow(2.0, static_cast<double>(retries_used)) +
       draw_backoff(op, live);
+  if (obs_ != nullptr) {
+    obs_->counter("actuation_retries_total", "Extra actuation attempts armed",
+                  {{"op", op_name(op)}})
+        .inc();
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "epoch_retry", static_cast<std::uint64_t>(round_))
+          .field("op", op_name(op))
+          .field("epoch", live.epoch)
+          .field("attempt", static_cast<std::uint64_t>(live.attempts))
+          .field("backoff_slots", live.backoff_left_slots);
+    }
+  }
   sync_ledger(op, ch);
+}
+
+const std::string& ActuationManager::op_name(dag::NodeId op) const {
+  return engine_->dag().component(op).name;
 }
 
 void ActuationManager::roll_back(dag::NodeId op, Channel& ch) {
@@ -220,6 +267,23 @@ void ActuationManager::terminate(dag::NodeId op, Channel& ch, EpochOutcome outco
   EpochRecord& record = records_[live.record_index];
   record.outcome = outcome;
   record.terminal_round = round_;
+  if (obs_ != nullptr) {
+    obs_->counter("actuation_epochs_terminated_total", "Actuation epochs ended, by outcome",
+                  {{"op", op_name(op)}, {"outcome", to_string(outcome)}})
+        .inc();
+    if (outcome == EpochOutcome::kApplied)
+      obs_->histogram("actuation_slots_to_applied", "Slots from issue to fully applied",
+                      {0.0, 1.0, 2.0, 4.0, 8.0})
+          .observe(static_cast<double>(round_ - live.issue_round));
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "epoch_terminated", static_cast<std::uint64_t>(round_))
+          .field("op", op_name(op))
+          .field("epoch", live.epoch)
+          .field("outcome", to_string(outcome))
+          .field("issue_round", static_cast<std::uint64_t>(live.issue_round))
+          .field("attempts", static_cast<std::uint64_t>(live.attempts));
+    }
+  }
   Stats& stats = stats_[op];
   switch (outcome) {
     case EpochOutcome::kApplied:

@@ -51,6 +51,10 @@
 #include "resilience/snapshot.hpp"
 #include "streamsim/engine.hpp"
 
+namespace dragster::obs {
+class Registry;
+}
+
 namespace dragster::actuation {
 
 /// Terminal outcome of an epoch (kInFlight until it terminates).
@@ -139,6 +143,11 @@ class ActuationManager final : public streamsim::ScalingActuator,
   /// exhausted operations, and republishes the pending-pod ledger.
   void begin_slot();
 
+  /// Attaches an observability registry (epoch lifecycle trace + counters).
+  /// Null disables telemetry; instrumentation is read-only, so attaching one
+  /// never changes scheduling or retry behaviour.
+  void set_observability(obs::Registry* registry) noexcept { obs_ = registry; }
+
   // -- fault seams (driven by faults::FaultInjector) ------------------------
   void set_admission_outage(bool active);
   /// Multiplies subsequently drawn scheduling latencies (scheddelay seam).
@@ -214,6 +223,7 @@ class ActuationManager final : public streamsim::ScalingActuator,
   [[nodiscard]] double draw_latency(dag::NodeId op, const Operation& live,
                                     std::size_t pod) const;
   [[nodiscard]] double draw_backoff(dag::NodeId op, const Operation& live) const;
+  [[nodiscard]] const std::string& op_name(dag::NodeId op) const;
 
   streamsim::Engine* engine_;
   ActuationOptions options_;
@@ -223,6 +233,7 @@ class ActuationManager final : public streamsim::ScalingActuator,
   std::map<dag::NodeId, Channel> channels_;
   std::map<dag::NodeId, Stats> stats_;
   std::vector<EpochRecord> records_;
+  obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
 };
 
 }  // namespace dragster::actuation

@@ -10,6 +10,10 @@
 
 #include "streamsim/engine.hpp"
 
+namespace dragster::obs {
+class Registry;
+}
+
 namespace dragster::core {
 
 class Controller {
@@ -17,6 +21,12 @@ class Controller {
   virtual ~Controller() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Attaches an observability registry (metrics + trace sink).  Null (the
+  /// default) disables telemetry; instrumentation is read-only, so attaching
+  /// one never changes a controller's decisions.  Wrappers forward the call
+  /// to the controller they wrap.
+  virtual void set_observability(obs::Registry* registry) { (void)registry; }
 
   /// Called once before the first slot; may set the initial configuration.
   virtual void initialize(const streamsim::JobMonitor& monitor,

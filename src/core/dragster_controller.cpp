@@ -6,6 +6,7 @@
 
 #include "cluster/pricing.hpp"
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace dragster::core {
 
@@ -220,6 +221,7 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
   const std::size_t n = dag_->node_count();
   const int max_tasks = monitor.max_tasks();
 
+  decision_details_.clear();
   bottlenecks_.clear();
   for (dag::NodeId id = 0; id < n; ++id) {
     if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
@@ -267,7 +269,9 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
     int new_tasks = planned[id];
     cluster::PodSpec new_spec = planned_spec[id];
     double best_score = -std::numeric_limits<double>::infinity();
+    gp::Posterior best_post;
     bool any_feasible = false;
+    bool projection_active = false;
     for (double cpu : cpu_options) {
       const cluster::PodSpec spec =
           options_.enable_vertical
@@ -276,8 +280,10 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
       const double pod_price = pricing.pod_price_per_hour(spec);
       for (int tasks = 1; tasks <= max_tasks; ++tasks) {
         if (options_.budget.limited() &&
-            others_cost + tasks * pod_price > options_.budget.dollars_per_hour() + 1e-9)
+            others_cost + tasks * pod_price > options_.budget.dollars_per_hour() + 1e-9) {
+          projection_active = true;  // Pi_X pruned this candidate
           continue;
+        }
         any_feasible = true;
         std::vector<double> x{static_cast<double>(tasks)};
         if (options_.enable_vertical) x.push_back(spec.cpu_cores);
@@ -289,11 +295,15 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
         const double score = -penalty + beta * post.variance;
         if (score > best_score) {
           best_score = score;
+          best_post = post;
           new_tasks = tasks;
           new_spec = spec;
         }
       }
     }
+    if (obs_ != nullptr && any_feasible)
+      decision_details_[id] = {best_post.mean, best_post.variance, best_score, new_tasks,
+                               projection_active};
     if (!any_feasible) continue;  // budget leaves no room
     if (new_tasks != planned[id] || !(new_spec == planned_spec[id])) {
       if (!(new_spec == planned_spec[id])) actuator.set_pod_spec(id, new_spec);
@@ -336,6 +346,36 @@ void DragsterController::on_slot(const streamsim::JobMonitor& monitor,
   y_target_ = compute_targets(monitor);
   repair_lost_pods(monitor, actuator);
   select_configs(monitor, actuator);
+  if (obs_ != nullptr) emit_decisions();
+}
+
+void DragsterController::emit_decisions() {
+  obs_->counter("dragster_slots_total", "Controller decision slots completed").inc();
+  obs::TraceSink* sink = obs_->trace();
+  for (dag::NodeId id : dag_->operators()) {
+    const std::string& op = dag_->component(id).name;
+    obs_->gauge("dragster_lambda", "Dual multiplier per operator", {{"op", op}})
+        .set(dual_->lambda()[id]);
+    obs_->gauge("dragster_target", "Level-1 target capacity y_i(t)", {{"op", op}})
+        .set(y_target_[id]);
+    if (sink == nullptr) continue;
+    const bool bottleneck =
+        std::find(bottlenecks_.begin(), bottlenecks_.end(), id) != bottlenecks_.end();
+    obs::Event event(*sink, "decision", static_cast<std::uint64_t>(slot_));
+    event.field("op", op)
+        .field("lambda", dual_->lambda()[id])
+        .field("target", y_target_[id])
+        .field("estimate", y_est_[id])
+        .field("bottleneck", bottleneck);
+    const auto it = decision_details_.find(id);
+    if (it != decision_details_.end()) {
+      event.field("mu", it->second.mu)
+          .field("sigma2", it->second.sigma2)
+          .field("acquisition", it->second.acquisition)
+          .field("tasks", it->second.tasks)
+          .field("projection_active", it->second.projection_active);
+    }
+  }
 }
 
 std::size_t DragsterController::non_finite_constraints() const {

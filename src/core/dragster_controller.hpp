@@ -82,6 +82,7 @@ class DragsterController final : public Controller, public resilience::Snapshota
                   streamsim::ScalingActuator& actuator) override;
   void on_slot(const streamsim::JobMonitor& monitor,
                streamsim::ScalingActuator& actuator) override;
+  void set_observability(obs::Registry* registry) override { obs_ = registry; }
 
   // -- crash recovery (src/resilience) ---------------------------------------
   /// Serializes every piece of learned state — per-operator GP observations
@@ -120,6 +121,19 @@ class DragsterController final : public Controller, public resilience::Snapshota
     double scale = 0.0;  ///< normalization: first capacity estimate
   };
 
+  /// Level-2 detail captured during select_configs for the decision trace:
+  /// the GP posterior at the chosen configuration, the acquisition value,
+  /// and whether the budget projection pruned any candidate.
+  struct DecisionDetail {
+    double mu = 0.0;
+    double sigma2 = 0.0;
+    double acquisition = 0.0;
+    int tasks = 0;
+    bool projection_active = false;
+  };
+
+  void emit_decisions();
+
   void observe(const streamsim::JobMonitor& monitor);
   [[nodiscard]] gp::GaussianProcess make_operator_gp() const;
   [[nodiscard]] std::vector<double> compute_targets(const streamsim::JobMonitor& monitor);
@@ -143,7 +157,9 @@ class DragsterController final : public Controller, public resilience::Snapshota
   /// re-issues it rather than re-planning around the damaged deployment.
   std::map<dag::NodeId, int> commanded_tasks_;
   std::map<dag::NodeId, cluster::PodSpec> commanded_spec_;
+  std::map<dag::NodeId, DecisionDetail> decision_details_;  ///< per slot, traced
   std::size_t slot_ = 0;
+  obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
 };
 
 }  // namespace dragster::core

@@ -11,10 +11,26 @@ namespace dragster::experiments {
 RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                        const ScenarioOptions& options, const std::string& workload_name,
                        faults::FaultInjector* injector,
-                       actuation::ActuationManager* actuation) {
+                       actuation::ActuationManager* actuation, obs::Registry* obs) {
   RunResult result;
   result.controller = controller.name();
   result.workload = workload_name;
+
+  // Attach telemetry for the duration of the run (and detach on every exit
+  // path — the registry may outlive none of these components).
+  engine.set_observability(obs);
+  controller.set_observability(obs);
+  if (actuation != nullptr) actuation->set_observability(obs);
+  struct ObsGuard {
+    streamsim::Engine* engine;
+    core::Controller* controller;
+    actuation::ActuationManager* actuation;
+    ~ObsGuard() {
+      engine->set_observability(nullptr);
+      controller->set_observability(nullptr);
+      if (actuation != nullptr) actuation->set_observability(nullptr);
+    }
+  } obs_guard{&engine, &controller, actuation};
 
   // With a manager the controller never touches the engine directly: every
   // action goes through the epoch fence and the async pod lifecycle.
@@ -45,7 +61,21 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
   auto* supervised = dynamic_cast<resilience::ControllerSupervisor*>(&controller);
 
   for (std::size_t t = 0; t < options.slots; ++t) {
+    const std::size_t faults_before = injector != nullptr ? injector->applied().size() : 0;
     if (injector != nullptr) injector->before_slot(engine, actuation);
+    if (injector != nullptr && obs != nullptr) {
+      for (std::size_t k = faults_before; k < injector->applied().size(); ++k) {
+        const faults::AppliedFault& fault = injector->applied()[k];
+        obs->counter("scenario_faults_total", "Fault events applied, by kind",
+                     {{"kind", faults::to_string(fault.event.kind)}})
+            .inc();
+        if (obs::TraceSink* sink = obs->trace()) {
+          obs::Event(*sink, "fault_injected", static_cast<std::uint64_t>(fault.slot))
+              .field("kind", faults::to_string(fault.event.kind))
+              .field("spec", fault.event.to_string());
+        }
+      }
+    }
     if (actuation != nullptr) actuation->begin_slot();
     const streamsim::SlotReport& report = engine.run_slot();
     if (injector != nullptr && injector->consume_controller_crash()) {
@@ -79,6 +109,18 @@ RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
     for (dag::NodeId id : operators)
       summary.fault_active = summary.fault_active || report.per_node[id].fault_tainted ||
                              report.per_node[id].metrics_stale;
+
+    if (obs != nullptr) {
+      if (obs::TraceSink* sink = obs->trace()) {
+        obs::Event(*sink, "scenario_slot", static_cast<std::uint64_t>(t))
+            .field("throughput", summary.throughput_rate)
+            .field("effective", summary.effective_rate)
+            .field("cost", summary.cost)
+            .field("oracle", summary.oracle_throughput)
+            .field("near_optimal", summary.near_optimal)
+            .field("fault_active", summary.fault_active);
+      }
+    }
 
     result.total_tuples += summary.tuples;
     result.total_cost += summary.cost;

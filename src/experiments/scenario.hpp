@@ -16,6 +16,7 @@
 #include "core/controller.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/recovery.hpp"
+#include "obs/registry.hpp"
 #include "online/budget.hpp"
 #include "resilience/supervisor.hpp"
 #include "streamsim/engine.hpp"
@@ -81,11 +82,16 @@ struct ScenarioOptions {
 /// instead of the engine (per-slot order: injector -> actuation reconcile ->
 /// engine -> controller) and the result carries per-operator actuation
 /// stats.
+/// With an `obs` registry, the engine, the actuation manager and the
+/// controller (including a supervisor and whatever it wraps) all publish
+/// metrics and trace events through it for the duration of the run.
+/// Telemetry is read-only: the RunResult is bit-identical with or without it.
 [[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                      const ScenarioOptions& options,
                                      const std::string& workload_name = "",
                                      faults::FaultInjector* injector = nullptr,
-                                     actuation::ActuationManager* actuation = nullptr);
+                                     actuation::ActuationManager* actuation = nullptr,
+                                     obs::Registry* obs = nullptr);
 
 /// First slot index in [from, to) that starts `persistence` consecutive
 /// near-optimal slots AND from which at least 75% of the window's remaining

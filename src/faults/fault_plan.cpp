@@ -122,11 +122,17 @@ FaultEvent parse_event(const std::string& text) {
 
   std::size_t pos = at + 1;
   event.slot = parse_index(text, pos, "slot");
+  bool saw_duration = false;
+  bool saw_value = false;
   while (pos < text.size()) {
     const char tag = text[pos++];
     if (tag == '+') {
+      DRAGSTER_REQUIRE(!saw_duration, "repeated '+duration' in fault event '" + text + "'");
+      saw_duration = true;
       event.duration_slots = parse_index(text, pos, "duration");
     } else if (tag == '*') {
+      DRAGSTER_REQUIRE(!saw_value, "repeated '*value' in fault event '" + text + "'");
+      saw_value = true;
       event.value = parse_number(text, pos);
     } else if (tag == ':') {
       event.op = text.substr(pos);
@@ -136,6 +142,44 @@ FaultEvent parse_event(const std::string& text) {
       DRAGSTER_REQUIRE(false, std::string("unexpected '") + tag + "' in fault event '" +
                                   text + "'");
     }
+  }
+  // Explicit-modifier checks live here, not in check_event(): programmatic
+  // construction keeps its defaulting contract (crash value 0 -> one pod),
+  // but a *typed* modifier that the event ignores or that would be silently
+  // re-interpreted is a spec bug and must not parse.
+  if (saw_value) {
+    DRAGSTER_REQUIRE(event.value != 0.0, "explicit '*0' in fault event '" + text + "'");
+    switch (event.kind) {
+      case FaultKind::kPodCrash:
+        DRAGSTER_REQUIRE(event.value == std::floor(event.value),
+                         "crash pod count must be an integer in '" + text + "'");
+        break;
+      case FaultKind::kCheckpointFailure:
+        DRAGSTER_REQUIRE(event.value == std::floor(event.value),
+                         "ckptfail retry count must be an integer in '" + text + "'");
+        break;
+      case FaultKind::kMetricDropout:
+        DRAGSTER_REQUIRE(false, "dropout takes no '*value' in '" + text + "'");
+        break;
+      case FaultKind::kControllerCrash:
+        DRAGSTER_REQUIRE(false, "ctrlcrash takes no '*value' in '" + text + "'");
+        break;
+      case FaultKind::kSchedulerOutage:
+        DRAGSTER_REQUIRE(false, "schedfail takes no '*value' in '" + text + "'");
+        break;
+      case FaultKind::kStraggler:
+      case FaultKind::kSchedulerDelay:
+        break;  // range-checked in check_event()
+    }
+  }
+  if (saw_duration) {
+    const bool windowed = event.kind == FaultKind::kStraggler ||
+                          event.kind == FaultKind::kMetricDropout ||
+                          event.kind == FaultKind::kSchedulerOutage ||
+                          event.kind == FaultKind::kSchedulerDelay;
+    DRAGSTER_REQUIRE(windowed, std::string(to_string(event.kind)) +
+                                   " is instantaneous and takes no '+duration' in '" + text +
+                                   "'");
   }
   check_event(event);
   return event;
@@ -162,6 +206,15 @@ FaultPlan::FaultPlan(std::vector<FaultEvent> events) : events_(std::move(events)
   for (FaultEvent& event : events_) check_event(event);
   std::stable_sort(events_.begin(), events_.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.slot < b.slot; });
+  // Two copies of the same (kind, slot, op) event would double-fire: the
+  // injector applies both, and the duplicate is invisible in to_string()
+  // output read casually.  Plans are tiny, so the quadratic scan is fine.
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    for (std::size_t j = i + 1; j < events_.size() && events_[j].slot == events_[i].slot; ++j) {
+      DRAGSTER_REQUIRE(events_[j].kind != events_[i].kind || events_[j].op != events_[i].op,
+                       "duplicate fault event '" + events_[i].to_string() + "'");
+    }
+  }
 }
 
 FaultPlan FaultPlan::parse(const std::string& spec) {

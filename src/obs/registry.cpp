@@ -1,0 +1,203 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace dragster::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  });
+}
+
+/// `op="map",kind="crash"` — the child key and the exposition label block.
+std::string serialize_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    DRAGSTER_REQUIRE(valid_label_name(key), "invalid label name '" + key + "'");
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    append_json_escaped(out, value);  // prom escapes \ " \n the same way
+    out += '"';
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  DRAGSTER_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  DRAGSTER_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                       std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+                   "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = bounds_.size();  // +Inf overflow bucket
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket] += 1;
+  sum_ += value;
+  count_ += 1;
+}
+
+void Registry::claim_name(const std::string& name, char type, const std::string& help) {
+  DRAGSTER_REQUIRE(valid_metric_name(name), "invalid metric name '" + name + "'");
+  const auto [it, inserted] = types_.emplace(name, type);
+  DRAGSTER_REQUIRE(it->second == type,
+                   "metric '" + name + "' already registered with a different type");
+  if (inserted) return;
+  const std::string& existing = type == 'c'   ? counters_.at(name).help
+                                : type == 'g' ? gauges_.at(name).help
+                                              : histograms_.at(name).help;
+  DRAGSTER_REQUIRE(existing == help,
+                   "metric '" + name + "' already registered with a different help string");
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  claim_name(name, 'c', help);
+  Family<Counter>& family = counters_[name];
+  family.help = help;
+  std::unique_ptr<Counter>& child = family.children[serialize_labels(labels)];
+  if (!child) child = std::make_unique<Counter>();
+  return *child;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help, const Labels& labels) {
+  claim_name(name, 'g', help);
+  Family<Gauge>& family = gauges_[name];
+  family.help = help;
+  std::unique_ptr<Gauge>& child = family.children[serialize_labels(labels)];
+  if (!child) child = std::make_unique<Gauge>();
+  return *child;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               const std::vector<double>& upper_bounds, const Labels& labels) {
+  claim_name(name, 'h', help);
+  Family<Histogram>& family = histograms_[name];
+  family.help = help;
+  const std::string key = serialize_labels(labels);
+  auto it = family.children.find(key);
+  if (it == family.children.end()) {
+    // Every child of one family shares the first-registered bounds — mixed
+    // bucket layouts under one name would be unexposable.
+    const std::vector<double>& bounds = family.children.empty()
+                                            ? upper_bounds
+                                            : family.children.begin()->second->upper_bounds();
+    it = family.children.emplace(key, std::make_unique<Histogram>(bounds)).first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+void family_header(std::string& out, const std::string& name, const std::string& help,
+                   const char* type) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  // HELP text escapes exactly backslash and line feed (the text format's
+  // rule; quotes are only escaped inside label values).
+  for (const char c : help) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const std::string& name, const std::string& labels,
+            double value, const char* extra_label = nullptr,
+            const std::string& extra_value = "") {
+  out += name;
+  std::string block = labels;
+  if (extra_label != nullptr) {
+    if (!block.empty()) block += ',';
+    block += extra_label;
+    block += "=\"";
+    block += extra_value;
+    block += '"';
+  }
+  if (!block.empty()) {
+    out += '{';
+    out += block;
+    out += '}';
+  }
+  out += ' ';
+  out += format_double(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string Registry::expose() const {
+  std::string out;
+  // One pass in global name order so families interleave deterministically
+  // regardless of which map holds them.
+  for (const auto& [name, type] : types_) {
+    if (type == 'c') {
+      const Family<Counter>& family = counters_.at(name);
+      family_header(out, name, family.help, "counter");
+      for (const auto& [labels, child] : family.children)
+        sample(out, name, labels, child->value());
+    } else if (type == 'g') {
+      const Family<Gauge>& family = gauges_.at(name);
+      family_header(out, name, family.help, "gauge");
+      for (const auto& [labels, child] : family.children)
+        sample(out, name, labels, child->value());
+    } else {
+      const Family<Histogram>& family = histograms_.at(name);
+      family_header(out, name, family.help, "histogram");
+      for (const auto& [labels, child] : family.children) {
+        std::uint64_t cumulative = 0;
+        const auto& bounds = child->upper_bounds();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += child->bucket_counts()[i];
+          sample(out, name + "_bucket", labels, static_cast<double>(cumulative), "le",
+                 format_double(bounds[i]));
+        }
+        cumulative += child->bucket_counts().back();
+        sample(out, name + "_bucket", labels, static_cast<double>(cumulative), "le", "+Inf");
+        sample(out, name + "_sum", labels, child->sum());
+        sample(out, name + "_count", labels, static_cast<double>(child->count()));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dragster::obs

@@ -8,6 +8,7 @@
 #include "cluster/pricing.hpp"
 #include "common/error.hpp"
 #include "core/dragster_controller.hpp"
+#include "obs/registry.hpp"
 
 namespace dragster::resilience {
 
@@ -105,6 +106,14 @@ void ControllerSupervisor::on_slot(const streamsim::JobMonitor& monitor,
   if (crash_pending_) {
     crash_pending_ = false;
     ++stats_.crashes_injected;
+    if (obs_ != nullptr) {
+      obs_->counter("supervisor_crashes_total", "Controller crashes delivered").inc();
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "controller_crash", static_cast<std::uint64_t>(frame.slots_run))
+            .field("cold_restart", !(options_.enable_snapshots && snapshotable_ != nullptr &&
+                                     !snapshot_.empty()));
+      }
+    }
     inner_down_ = true;
     outage_left_ = std::max<std::size_t>(std::size_t{1}, options_.restore_slots);
     need_cold_restart_ =
@@ -118,6 +127,14 @@ void ControllerSupervisor::on_slot(const streamsim::JobMonitor& monitor,
   if (state_ == SupervisorState::kSafeMode) {
     ++stats_.safe_mode_slots;
     ++safe_streak_;
+    if (obs_ != nullptr) {
+      obs_->counter("supervisor_safe_mode_slots_total", "Slots spent in safe mode").inc();
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "safe_mode_slot", static_cast<std::uint64_t>(frame.slots_run))
+            .field("streak", static_cast<std::uint64_t>(safe_streak_))
+            .field("inner_down", inner_down_);
+      }
+    }
     pending_.push_back(std::move(frame));
     if (inner_down_) {
       --outage_left_;
@@ -232,6 +249,12 @@ void ControllerSupervisor::take_snapshot() {
   journal_.clear();
   slots_since_snapshot_ = 0;
   ++stats_.snapshots_taken;
+  if (obs_ != nullptr) {
+    obs_->counter("supervisor_snapshots_total", "Controller state snapshots taken").inc();
+    if (obs::TraceSink* sink = obs_->trace())
+      obs::Event(*sink, "snapshot", static_cast<std::uint64_t>(slots_seen_))
+          .field("bytes", static_cast<std::uint64_t>(snapshot_.size()));
+  }
 }
 
 bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
@@ -241,6 +264,7 @@ bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
   if (need_cold_restart_) {
     // No usable snapshot: rebuild the process with all learned state lost.
     if (options_.cold_factory) inner_ = options_.cold_factory();
+    inner_->set_observability(obs_);  // the fresh instance needs re-attaching
     snapshotable_ = dynamic_cast<Snapshotable*>(inner_.get());
     snapshot_.clear();
     journal_.clear();
@@ -248,6 +272,13 @@ bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
     inner_->initialize(boot, sink);
     ++stats_.cold_restarts;
     need_cold_restart_ = false;
+    if (obs_ != nullptr) {
+      obs_->counter("supervisor_cold_restarts_total", "Recoveries without a usable snapshot")
+          .inc();
+      if (obs::TraceSink* trace = obs_->trace())
+        obs::Event(*trace, "cold_restart", static_cast<std::uint64_t>(newest.slots_run))
+            .field("replayed", static_cast<std::uint64_t>(pending_.size() - 1));
+    }
     // The fresh controller still learns from the frames that arrived while
     // it was down — they are observations, even if their decisions are moot.
     for (std::size_t i = 0; i + 1 < pending_.size(); ++i) {
@@ -262,6 +293,13 @@ bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
     SnapshotReader reader(snapshot_);
     snapshotable_->load_state(reader);
     ++stats_.restores;
+    if (obs_ != nullptr) {
+      obs_->counter("supervisor_restores_total", "Snapshot-restore recovery attempts").inc();
+      if (obs::TraceSink* trace = obs_->trace())
+        obs::Event(*trace, "restore", static_cast<std::uint64_t>(newest.slots_run))
+            .field("journal", static_cast<std::uint64_t>(journal_.size()))
+            .field("pending", static_cast<std::uint64_t>(pending_.size()));
+    }
     for (const streamsim::MonitorFrame& missed : journal_) {
       streamsim::JobMonitor replay(missed);
       inner_->on_slot(replay, sink);
@@ -281,6 +319,10 @@ bool ControllerSupervisor::try_recover(streamsim::ScalingActuator& actuator) {
   inner_->on_slot(shadow, buffer);
   const bool real_change = targets_new_epoch(buffer, actuator);
   if (validate(buffer, newest, nf_before, real_change).has_value()) return false;
+  if (obs_ != nullptr) {
+    if (obs::TraceSink* trace = obs_->trace())
+      obs::Event(*trace, "recovered", static_cast<std::uint64_t>(newest.slots_run));
+  }
   buffer.commit(actuator);
   adopt_actions(buffer);
   consecutive_reconfigs_ = real_change ? consecutive_reconfigs_ + 1 : 0;
@@ -294,6 +336,11 @@ void ControllerSupervisor::run_rule_fallback(streamsim::ScalingActuator& actuato
   const streamsim::MonitorFrame& newest = pending_.back();
   streamsim::JobMonitor view(newest);
   ++stats_.rule_fallback_slots;
+  if (obs_ != nullptr) {
+    obs_->counter("supervisor_rule_fallback_slots_total", "Slots sized by the DS2 rule").inc();
+    if (obs::TraceSink* sink = obs_->trace())
+      obs::Event(*sink, "rule_fallback", static_cast<std::uint64_t>(newest.slots_run));
+  }
   if (!view.has_report()) {
     reissue_last_known_good(newest, actuator);
     return;
@@ -341,6 +388,14 @@ void ControllerSupervisor::adopt_actions(const BufferedActuator& buffer) {
 void ControllerSupervisor::record_trip(std::size_t slot, HealthViolation violation) {
   ++stats_.invariant_trips;
   stats_.trip_log.push_back("slot " + std::to_string(slot) + ": " + to_string(violation));
+  if (obs_ != nullptr) {
+    obs_->counter("supervisor_invariant_trips_total", "Health-invariant violations, by kind",
+                  {{"violation", to_string(violation)}})
+        .inc();
+    if (obs::TraceSink* sink = obs_->trace())
+      obs::Event(*sink, "invariant_trip", static_cast<std::uint64_t>(slot))
+          .field("violation", to_string(violation));
+  }
 }
 
 }  // namespace dragster::resilience

@@ -143,6 +143,13 @@ class ControllerSupervisor final : public core::Controller {
   void on_slot(const streamsim::JobMonitor& monitor,
                streamsim::ScalingActuator& actuator) override;
 
+  /// Forwards to the wrapped controller as well, and re-attaches after a
+  /// cold restart replaces it.
+  void set_observability(obs::Registry* registry) override {
+    obs_ = registry;
+    inner_->set_observability(registry);
+  }
+
   /// Kills the controller process at the start of the next on_slot() — the
   /// faults::FaultInjector's controller_crash lands here.
   void inject_crash() noexcept { crash_pending_ = true; }
@@ -201,6 +208,7 @@ class ControllerSupervisor final : public core::Controller {
   std::size_t consecutive_reconfigs_ = 0;
   std::size_t safe_streak_ = 0;
   std::unique_ptr<core::Controller> fallback_;  ///< DS2 rule, created lazily
+  obs::Registry* obs_ = nullptr;                ///< borrowed; null = telemetry off
 };
 
 }  // namespace dragster::resilience

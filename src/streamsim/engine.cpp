@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/registry.hpp"
 
 namespace dragster::streamsim {
 
@@ -390,7 +391,48 @@ const SlotReport& Engine::run_slot() {
   report.cost = cluster_.accrued_cost() - cost_before;
 
   report_ = std::move(report);
+  if (obs_ != nullptr) publish_observability();
   return *report_;
+}
+
+void Engine::publish_observability() const {
+  const SlotReport& r = *report_;
+  obs_->counter("engine_slots_total", "Simulation slots completed").inc();
+  obs_->counter("engine_tuples_total", "Tuples delivered to the sink").inc(r.tuples_processed);
+  obs_->gauge("engine_throughput_rate", "Sink throughput over the last slot (tuples/s)")
+      .set(r.throughput_rate);
+  obs::TraceSink* sink = obs_->trace();
+  if (sink != nullptr) {
+    obs::Event(*sink, "engine_slot", static_cast<std::uint64_t>(r.slot_index))
+        .field("tuples", r.tuples_processed)
+        .field("throughput", r.throughput_rate)
+        .field("cost", r.cost)
+        .field("pause_s", r.pause_s)
+        .field("latency_s", r.latency_estimate_s)
+        .field("checkpoint_retries", r.checkpoint_retries)
+        .field("checkpoint_aborted", r.checkpoint_aborted);
+  }
+  for (const auto& entry : ops_) {
+    const dag::NodeId id = entry.first;
+    const OperatorMetrics& m = r.per_node[id];
+    const std::string& name = dag_.component(id).name;
+    obs_->gauge("engine_backlog", "Buffered tuples at slot end", {{"op", name}})
+        .set(m.backlog_end);
+    obs_->gauge("engine_tasks", "Deployed parallelism", {{"op", name}})
+        .set(static_cast<double>(m.tasks));
+    if (sink == nullptr) continue;
+    obs::Event(*sink, "engine_op", static_cast<std::uint64_t>(r.slot_index))
+        .field("op", name)
+        .field("tasks", m.tasks)
+        .field("backlog", m.backlog_end)
+        .field("in_rate", m.in_rate)
+        .field("out_rate", m.out_rate)
+        .field("capacity", m.observed_capacity)
+        .field("dropped", m.dropped)
+        .field("tainted", m.fault_tainted)
+        .field("stale", m.metrics_stale)
+        .field("backpressured", m.backpressured);
+  }
 }
 
 void Engine::micro_step(double dt, std::vector<double>& edge_rate, common::Rng& step_rng) {

@@ -30,6 +30,10 @@
 #include "streamsim/capacity_model.hpp"
 #include "streamsim/rate_schedule.hpp"
 
+namespace dragster::obs {
+class Registry;
+}
+
 namespace dragster::streamsim {
 
 struct EngineOptions {
@@ -189,6 +193,12 @@ class Engine final : public ScalingActuator {
   /// Advances one controller slot and returns its report.
   const SlotReport& run_slot();
 
+  /// Attaches an observability registry: run_slot() publishes a per-slot
+  /// summary event plus one event per operator (backlog, throughput, tainted
+  /// flags).  Null disables telemetry; publication is read-only, so the
+  /// simulation trajectory is bit-identical either way.
+  void set_observability(obs::Registry* registry) noexcept { obs_ = registry; }
+
   // -- fault-injection seams (src/faults drives these) ----------------------
 
   /// Failure injection: crashes one pod of the operator (replicas -1, floor
@@ -272,6 +282,7 @@ class Engine final : public ScalingActuator {
   };
 
   void micro_step(double dt, std::vector<double>& edge_rate, common::Rng& step_rng);
+  void publish_observability() const;
 
   dag::StreamDag dag_;
   EngineOptions options_;
@@ -289,6 +300,7 @@ class Engine final : public ScalingActuator {
   std::size_t slot_index_ = 0;
   double now_s_ = 0.0;
   double total_tuples_ = 0.0;
+  obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
 };
 
 }  // namespace dragster::streamsim

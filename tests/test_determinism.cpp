@@ -12,6 +12,8 @@
 #include "experiments/scenario.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "resilience/supervisor.hpp"
 #include "streamsim/engine.hpp"
 #include "workloads/workloads.hpp"
@@ -152,6 +154,49 @@ TEST(Determinism, AsyncActuationChaosRunsAreReproducible) {
     EXPECT_EQ(bits(a.actuation[i].slots_to_running_sum),
               bits(b.actuation[i].slots_to_running_sum));
   }
+}
+
+TEST(Determinism, FullyStackedTracedChaosRunsAreReproducible) {
+  // All three layers at once — supervisor wrapping Dragster, every action
+  // through the async actuation manager, the canonical chaos plan raining
+  // down — with telemetry attached.  Two same-seed runs must agree on the
+  // RunResult to the bit AND on the JSONL trace to the byte: the trace is
+  // the finest-grained oracle, so if any layer consulted a wall clock or an
+  // unseeded RNG it would show up here first.
+  auto run_once = [](obs::Registry& registry) {
+    const auto spec = workloads::wordcount();
+    streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, 17);
+    actuation::ActuationOptions aopts;
+    aopts.sched_latency_mean_slots = 1.0;
+    aopts.sched_latency_jitter = 0.3;
+    actuation::ActuationManager manager(engine, aopts, 17);
+    resilience::SupervisorOptions sup;
+    sup.snapshot_every = 4;
+    resilience::ControllerSupervisor supervised(
+        std::make_unique<core::DragsterController>(core::DragsterOptions{}), sup);
+    faults::FaultInjector injector(faults::FaultPlan::parse(
+        "crash@15:shuffle_count;ctrlcrash@18;straggler@22+2*0.3:map;"
+        "ckptfail@28*2;dropout@34+3:shuffle_count"));
+    experiments::ScenarioOptions options;
+    options.slots = 38;
+    return experiments::run_scenario(engine, supervised, options, spec.name, &injector,
+                                     &manager, &registry);
+  };
+  obs::Registry first_registry, second_registry;
+  obs::MemoryTraceSink first_sink, second_sink;
+  first_registry.set_trace(&first_sink);
+  second_registry.set_trace(&second_sink);
+  const auto a = run_once(first_registry);
+  const auto b = run_once(second_registry);
+  expect_identical(a, b);
+  ASSERT_GT(first_sink.lines(), 0u);
+  EXPECT_EQ(first_sink.str(), second_sink.str());
+  EXPECT_EQ(first_registry.expose(), second_registry.expose());
+  // The chaos actually exercised every layer.
+  ASSERT_TRUE(a.supervisor.has_value());
+  EXPECT_GE(a.supervisor->crashes_injected, 1u);
+  EXPECT_FALSE(a.actuation.empty());
+  EXPECT_FALSE(a.recoveries.empty());
 }
 
 }  // namespace

@@ -126,6 +126,58 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_THROW((void)FaultPlan::parse("crash@3#w"), std::invalid_argument);      // bad tag
 }
 
+TEST(FaultPlan, EmptySpecsYieldEmptyPlans) {
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(";;").empty());       // separators, no events
+  EXPECT_TRUE(FaultPlan::parse("crash@3:w;").events().size() == 1);  // trailing ';' ok
+  EXPECT_TRUE(FaultPlan().empty());
+}
+
+TEST(FaultPlan, RejectsExplicitGarbageModifiers) {
+  // An explicit *0 must not be silently re-interpreted as "the default":
+  // crash@3*0 would otherwise become one pod, schedfail@3*0 would pass the
+  // takes-no-value check by accident.
+  EXPECT_THROW((void)FaultPlan::parse("crash@3*0:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("schedfail@3*0"), std::invalid_argument);
+  // Fractional counts would truncate silently downstream.
+  EXPECT_THROW((void)FaultPlan::parse("crash@3*1.5:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("ckptfail@3*2.5"), std::invalid_argument);
+  // Values on kinds that ignore them are spec bugs, not no-ops.
+  EXPECT_THROW((void)FaultPlan::parse("dropout@3*2:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@3*2"), std::invalid_argument);
+  // Durations on instantaneous kinds likewise.
+  EXPECT_THROW((void)FaultPlan::parse("crash@3+2:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("ckptfail@3+2"), std::invalid_argument);
+  // Repeated modifiers in one event.
+  EXPECT_THROW((void)FaultPlan::parse("straggler@3+2+2*0.5:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("straggler@3*0.5*0.5:w"), std::invalid_argument);
+  // The programmatic defaulting contract is untouched: value 0 -> one pod.
+  const FaultPlan programmatic({{FaultKind::kPodCrash, 3, 1, 0.0, "w"}});
+  EXPECT_DOUBLE_EQ(programmatic.events()[0].value, 1.0);
+}
+
+TEST(FaultPlan, RejectsDuplicateEvents) {
+  // Same (kind, slot, op) twice would double-fire in the injector.
+  EXPECT_THROW((void)FaultPlan::parse("crash@3:w;crash@3:w"), std::invalid_argument);
+  EXPECT_THROW((void)FaultPlan::parse("ctrlcrash@5;ctrlcrash@5"), std::invalid_argument);
+  // Same slot is fine across kinds or operators.
+  EXPECT_EQ(FaultPlan::parse("crash@3:w;ckptfail@3*2").size(), 2u);
+  EXPECT_EQ(FaultPlan::parse("dropout@3+1:w;dropout@3+1:v").size(), 2u);
+}
+
+TEST(FaultInjector, WindowPastEndOfRunIsClippedNotFatal) {
+  // A duration reaching past the horizon parses (the plan does not know the
+  // run length) and simply stays open until the run ends.
+  ChaosSim sim(1900.0, /*tasks=*/2);
+  FaultInjector injector(FaultPlan::parse("straggler@1+100*0.5:worker"));
+  for (int t = 0; t < 4; ++t) {
+    injector.before_slot(*sim.engine);
+    sim.engine->run_slot();
+  }
+  EXPECT_TRUE(sim.metrics().fault_tainted);  // still open at the last slot
+  EXPECT_FALSE(injector.exhausted());        // window outlives the run
+}
+
 TEST(FaultPlan, ParsesControllerCrashAndRoundTrips) {
   const FaultPlan plan = FaultPlan::parse("ctrlcrash@25");
   ASSERT_EQ(plan.size(), 1u);

@@ -1,0 +1,193 @@
+// Observability layer: registry semantics, deterministic exposition and
+// trace formatting, and the two contracts the rest of the suite leans on —
+// same seed ==> byte-identical trace (the trace as test oracle), and
+// telemetry strictly read-only (traced run bit-identical to untraced).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+#include "actuation/actuation.hpp"
+#include "common/error.hpp"
+#include "core/dragster_controller.hpp"
+#include "experiments/scenario.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "resilience/supervisor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, CounterAndGaugeChildrenAreStableAndKeyedByLabels) {
+  obs::Registry registry;
+  obs::Counter& a = registry.counter("events_total", "Events", {{"op", "map"}});
+  a.inc();
+  a.inc(2.5);
+  // Same (name, labels) -> same child; different labels -> fresh child.
+  EXPECT_EQ(&registry.counter("events_total", "Events", {{"op", "map"}}), &a);
+  obs::Counter& b = registry.counter("events_total", "Events", {{"op", "reduce"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_DOUBLE_EQ(a.value(), 3.5);
+  EXPECT_DOUBLE_EQ(b.value(), 0.0);
+
+  obs::Gauge& g = registry.gauge("depth", "Depth");
+  g.set(7.0);
+  g.set(-1.25);
+  EXPECT_DOUBLE_EQ(registry.gauge("depth", "Depth").value(), -1.25);
+}
+
+TEST(Registry, HistogramBucketsObservationsAgainstUpperBounds) {
+  obs::Registry registry;
+  obs::Histogram& h = registry.histogram("latency", "Latency", {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 4.0, 9.0}) h.observe(v);
+  // le=1 catches 0.5 and 1.0 (bounds are inclusive), le=2 catches 1.5,
+  // le=4 catches 4.0, +Inf catches 9.0.
+  EXPECT_EQ(h.bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.0);
+  // Children of one family share the first-registered bounds.
+  obs::Histogram& other = registry.histogram("latency", "Latency", {99.0}, {{"op", "map"}});
+  EXPECT_EQ(other.upper_bounds(), h.upper_bounds());
+}
+
+TEST(Registry, MisuseThrows) {
+  obs::Registry registry;
+  (void)registry.counter("x_total", "X");
+  EXPECT_THROW((void)registry.gauge("x_total", "X"), Error);          // type conflict
+  EXPECT_THROW((void)registry.counter("x_total", "Other help"), Error);  // help conflict
+  EXPECT_THROW((void)registry.counter("0bad", "starts with digit"), Error);
+  EXPECT_THROW((void)registry.counter("has space", "bad name"), Error);
+  EXPECT_THROW((void)registry.counter("ok_total", "bad label", {{"0bad", "v"}}), Error);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), Error);  // bounds must strictly increase
+}
+
+TEST(Registry, ExpositionIsGoldenAndOrdered) {
+  obs::Registry registry;
+  // Registered out of name order on purpose: exposition must sort families
+  // globally by name regardless of metric type.
+  registry.gauge("m_depth", "Queue \"depth\"\nnow").set(2.5);
+  registry.counter("a_total", "A events", {{"op", "b"}}).inc(2.0);
+  registry.counter("a_total", "A events", {{"op", "a"}}).inc();
+  registry.histogram("h_slots", "Slots", {1.0, 2.0}).observe(1.5);
+  EXPECT_EQ(registry.expose(),
+            "# HELP a_total A events\n"
+            "# TYPE a_total counter\n"
+            "a_total{op=\"a\"} 1\n"
+            "a_total{op=\"b\"} 2\n"
+            "# HELP h_slots Slots\n"
+            "# TYPE h_slots histogram\n"
+            "h_slots_bucket{le=\"1\"} 0\n"
+            "h_slots_bucket{le=\"2\"} 1\n"
+            "h_slots_bucket{le=\"+Inf\"} 1\n"
+            "h_slots_sum 1.5\n"
+            "h_slots_count 1\n"
+            "# HELP m_depth Queue \"depth\"\\nnow\n"
+            "# TYPE m_depth gauge\n"
+            "m_depth 2.5\n");
+}
+
+// ------------------------------------------------------------------- trace
+
+TEST(Trace, EventSerializesFieldsInInsertionOrder) {
+  obs::MemoryTraceSink sink;
+  {
+    obs::Event(sink, "decision", std::uint64_t{7})
+        .field("op", "shuffle_count")
+        .field("target", 1.5)
+        .field("tasks", 3)
+        .field("bottleneck", true)
+        .field("note", "a\"b\\c\nd");
+  }
+  EXPECT_EQ(sink.str(),
+            "{\"type\":\"decision\",\"slot\":7,\"op\":\"shuffle_count\",\"target\":1.5,"
+            "\"tasks\":3,\"bottleneck\":true,\"note\":\"a\\\"b\\\\c\\nd\"}\n");
+  EXPECT_EQ(sink.lines(), 1u);
+  sink.clear();
+  EXPECT_EQ(sink.str(), "");
+  EXPECT_EQ(sink.lines(), 0u);
+}
+
+TEST(Trace, FormatDoubleRoundTripsAndHandlesNonFinite) {
+  for (double value : {0.0, -0.0, 1.0, 0.1, 1.0 / 3.0, 6503.285541543704, 1e-300, -2.5e17,
+                       std::numeric_limits<double>::denorm_min()}) {
+    const std::string text = obs::format_double(value);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(std::strtod(text.c_str(), nullptr)),
+              std::bit_cast<std::uint64_t>(value))
+        << text;
+  }
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(obs::format_double(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(obs::format_double(-std::numeric_limits<double>::infinity()), "-Inf");
+  // Non-finite doubles become quoted strings in JSON (no literal exists).
+  obs::MemoryTraceSink sink;
+  { obs::Event(sink, "e", std::uint64_t{0}).field("v", std::numeric_limits<double>::infinity()); }
+  EXPECT_EQ(sink.str(), "{\"type\":\"e\",\"slot\":0,\"v\":\"+Inf\"}\n");
+}
+
+// ----------------------------------------------- determinism contracts
+
+/// The canonical all-layers run: supervisor + actuation + chaos plan.
+experiments::RunResult run_traced(std::uint64_t seed, obs::Registry* obs) {
+  const auto spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+  actuation::ActuationManager manager(engine, actuation::ActuationOptions{}, seed);
+  resilience::SupervisorOptions sup;
+  sup.snapshot_every = 4;
+  resilience::ControllerSupervisor controller(
+      std::make_unique<core::DragsterController>(core::DragsterOptions{}), sup);
+  faults::FaultInjector injector(
+      faults::FaultPlan::parse("crash@6:shuffle_count;ctrlcrash@9;dropout@11+2:map"));
+  experiments::ScenarioOptions options;
+  options.slots = 14;
+  return experiments::run_scenario(engine, controller, options, spec.name, &injector,
+                                   &manager, obs);
+}
+
+TEST(GoldenTrace, SameSeedRunsEmitByteIdenticalTraces) {
+  obs::Registry first_registry, second_registry;
+  obs::MemoryTraceSink first_sink, second_sink;
+  first_registry.set_trace(&first_sink);
+  second_registry.set_trace(&second_sink);
+  (void)run_traced(17, &first_registry);
+  (void)run_traced(17, &second_registry);
+  ASSERT_GT(first_sink.lines(), 0u);
+  EXPECT_EQ(first_sink.str(), second_sink.str());
+  EXPECT_EQ(first_registry.expose(), second_registry.expose());
+  // Every layer showed up in the trace: the oracle covers the whole stack.
+  for (const char* type : {"\"type\":\"decision\"", "\"type\":\"engine_slot\"",
+                           "\"type\":\"epoch_issued\"", "\"type\":\"snapshot\"",
+                           "\"type\":\"fault_injected\"", "\"type\":\"scenario_slot\""})
+    EXPECT_NE(first_sink.str().find(type), std::string::npos) << type;
+}
+
+TEST(GoldenTrace, TracedRunIsBitIdenticalToUntracedRun) {
+  obs::Registry registry;
+  obs::MemoryTraceSink sink;
+  registry.set_trace(&sink);
+  const auto traced = run_traced(21, &registry);
+  const auto untraced = run_traced(21, nullptr);
+  ASSERT_EQ(traced.slots.size(), untraced.slots.size());
+  for (std::size_t t = 0; t < traced.slots.size(); ++t) {
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(traced.slots[t].throughput_rate),
+              std::bit_cast<std::uint64_t>(untraced.slots[t].throughput_rate));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(traced.slots[t].tuples),
+              std::bit_cast<std::uint64_t>(untraced.slots[t].tuples));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(traced.slots[t].cost),
+              std::bit_cast<std::uint64_t>(untraced.slots[t].cost));
+    EXPECT_EQ(traced.slots[t].tasks, untraced.slots[t].tasks);
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(traced.total_tuples),
+            std::bit_cast<std::uint64_t>(untraced.total_tuples));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(traced.total_cost),
+            std::bit_cast<std::uint64_t>(untraced.total_cost));
+}
+
+}  // namespace
+}  // namespace dragster

@@ -1,0 +1,240 @@
+// Property-based invariant harness: a seeded sweep of randomized scenarios —
+// fault plans sampled from the chaos grammar, random admission limits,
+// controller crashes, supervised / managed / bare layer combinations — each
+// checked against invariants that must hold on *every* run, not just the
+// curated golden ones:
+//   * every issued actuation epoch terminates exactly once (at most one
+//     in flight per operator at teardown),
+//   * operator backlog is never negative (read from the trace stream),
+//   * with a limited budget the deployed allocation never exceeds it,
+//   * snapshot -> restore mid-run is bit-identical to the uninterrupted run.
+// Everything derives from the sweep index, so a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "actuation/actuation.hpp"
+#include "common/rng.hpp"
+#include "core/dragster_controller.hpp"
+#include "experiments/scenario.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "resilience/snapshot.hpp"
+#include "resilience/supervisor.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster {
+namespace {
+
+constexpr std::size_t kScenarios = 56;  // the sweep; >= 50 per the test plan
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+/// Every epoch in the audit trail terminated exactly once, the per-operator
+/// counters agree with it, and at most one epoch per operator is still live
+/// (the same invariant fig10 gates its exit code on).
+void expect_epochs_terminate_once(const actuation::ActuationManager& manager) {
+  struct Counts {
+    std::size_t applied = 0, rolled = 0, superseded = 0, live = 0, total = 0;
+  };
+  std::map<dag::NodeId, Counts> counts;
+  for (const actuation::EpochRecord& record : manager.records()) {
+    Counts& c = counts[record.op];
+    c.total += 1;
+    switch (record.outcome) {
+      case actuation::EpochOutcome::kApplied: c.applied += 1; break;
+      case actuation::EpochOutcome::kRolledBack: c.rolled += 1; break;
+      case actuation::EpochOutcome::kSuperseded: c.superseded += 1; break;
+      case actuation::EpochOutcome::kInFlight: c.live += 1; break;
+    }
+  }
+  for (const actuation::OperatorStats& stats : manager.operator_stats()) {
+    SCOPED_TRACE("operator " + stats.name);
+    const Counts& c = counts[stats.op];
+    EXPECT_LE(c.live, 1u);
+    EXPECT_EQ(c.live == 1, manager.in_flight(stats.op));
+    EXPECT_EQ(stats.issued, c.total);
+    EXPECT_EQ(stats.applied, c.applied);
+    EXPECT_EQ(stats.rolled_back, c.rolled);
+    EXPECT_EQ(stats.superseded, c.superseded);
+    EXPECT_EQ(stats.issued, c.applied + c.rolled + c.superseded + c.live);
+  }
+}
+
+/// Greps every `"key":<number>` occurrence out of the JSONL trace — the
+/// stream is the oracle, so invariants read straight off it.
+std::vector<double> trace_values(const std::string& trace, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::vector<double> values;
+  for (std::size_t pos = trace.find(needle); pos != std::string::npos;
+       pos = trace.find(needle, pos + needle.size()))
+    values.push_back(std::strtod(trace.c_str() + pos + needle.size(), nullptr));
+  return values;
+}
+
+TEST(PropertySweep, RandomizedScenariosUpholdAllInvariants) {
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  std::size_t managed_runs = 0, supervised_runs = 0, limited_runs = 0, faulted_runs = 0;
+
+  for (std::size_t i = 0; i < kScenarios; ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    common::Rng rng(0xD5A000 + i);
+    const std::uint64_t seed = rng.next_u64();
+    const auto slots = static_cast<std::size_t>(rng.uniform_int(10, 16));
+    const bool supervised = rng.uniform() < 0.5;
+    const bool managed = rng.uniform() < 0.5;
+    const bool limited = rng.uniform() < 0.4;
+    // Tight enough to bind (the unconstrained optimum wants more), loose
+    // enough that one task per operator always fits.
+    const online::Budget budget =
+        limited ? online::Budget(0.10 * static_cast<double>(rng.uniform_int(6, 14)), 0.10)
+                : online::Budget::unlimited(0.10);
+
+    // Chaos plan: probabilities cranked well above the defaults so short
+    // horizons still see faults, with the kinds matched to the layers in
+    // play (controller crashes need a controller to crash, scheduler faults
+    // need a scheduler).
+    faults::FaultPlan::SampleOptions sample;
+    sample.horizon_slots = slots;
+    sample.warmup_slots = 2;
+    sample.crash_prob = 0.08;
+    sample.straggler_prob = 0.06;
+    sample.ckptfail_prob = 0.05;
+    sample.dropout_prob = 0.06;
+    sample.ctrlcrash_prob = supervised ? 0.08 : 0.04;
+    sample.schedfail_prob = managed ? 0.06 : 0.0;
+    sample.scheddelay_prob = managed ? 0.06 : 0.0;
+    for (dag::NodeId id : spec.dag.operators())
+      sample.operators.push_back(spec.dag.component(id).name);
+    common::Rng chaos = rng.substream("chaos");
+    const faults::FaultPlan plan = faults::FaultPlan::sample(chaos, sample);
+    faulted_runs += plan.empty() ? 0 : 1;
+
+    streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+
+    std::optional<actuation::ActuationManager> manager;
+    if (managed) {
+      actuation::ActuationOptions aopts;
+      aopts.sched_latency_mean_slots = rng.uniform(0.0, 2.0);
+      aopts.sched_latency_jitter = 0.4;
+      aopts.deadline_slots = static_cast<std::size_t>(rng.uniform_int(2, 3));
+      aopts.max_retries = static_cast<std::size_t>(rng.uniform_int(1, 2));
+      if (rng.uniform() < 0.5)
+        aopts.admission.max_total_pods = static_cast<int>(rng.uniform_int(8, 24));
+      manager.emplace(engine, aopts, seed);
+    }
+
+    core::DragsterOptions dopts;
+    dopts.budget = budget;
+    std::unique_ptr<core::Controller> controller;
+    if (supervised) {
+      resilience::SupervisorOptions sup;
+      sup.snapshot_every = static_cast<std::size_t>(rng.uniform_int(2, 5));
+      sup.budget = budget;
+      controller = std::make_unique<resilience::ControllerSupervisor>(
+          std::make_unique<core::DragsterController>(dopts), sup);
+    } else {
+      controller = std::make_unique<core::DragsterController>(dopts);
+    }
+
+    obs::Registry registry;
+    obs::MemoryTraceSink sink;
+    registry.set_trace(&sink);
+    faults::FaultInjector injector(plan);
+    experiments::ScenarioOptions options;
+    options.slots = slots;
+    options.budget = budget;
+    const experiments::RunResult run =
+        experiments::run_scenario(engine, *controller, options, spec.name, &injector,
+                                  manager ? &*manager : nullptr, &registry);
+    managed_runs += managed ? 1 : 0;
+    supervised_runs += supervised ? 1 : 0;
+    limited_runs += budget.limited() ? 1 : 0;
+
+    // -- epoch lifecycle ---------------------------------------------------
+    if (manager) expect_epochs_terminate_once(*manager);
+
+    // -- backlog, straight from the trace stream ---------------------------
+    const std::vector<double> backlogs = trace_values(sink.str(), "backlog");
+    ASSERT_EQ(backlogs.size(), slots * spec.dag.operators().size());
+    for (double backlog : backlogs) EXPECT_GE(backlog, 0.0);
+
+    // -- budget: the deployed allocation never exceeds sum x_i <= B --------
+    // Only where actuation is synchronous: an async rescale can transiently
+    // overshoot (one operator's rollback restores its old count while
+    // another's scale-up already landed), which is the actuation layer's
+    // documented behavior, not a controller violation.
+    for (const experiments::SlotSummary& slot : run.slots) {
+      SCOPED_TRACE("slot " + std::to_string(slot.slot));
+      std::size_t total = 0;
+      for (int tasks : slot.tasks) {
+        EXPECT_GE(tasks, 1);
+        total += static_cast<std::size_t>(tasks);
+      }
+      if (budget.limited() && !managed) {
+        EXPECT_LE(total, budget.max_total_tasks());
+      }
+      EXPECT_GE(slot.tuples, 0.0);
+      EXPECT_GE(slot.cost, 0.0);
+    }
+  }
+
+  // The sweep actually mixed the layer combinations it claims to cover.
+  EXPECT_GE(managed_runs, kScenarios / 4);
+  EXPECT_GE(supervised_runs, kScenarios / 4);
+  EXPECT_GE(limited_runs, kScenarios / 8);
+  EXPECT_GE(faulted_runs, kScenarios / 2);
+}
+
+TEST(PropertySweep, MidRunSnapshotRestoreIsBitIdentical) {
+  // Run the controller loop by hand so the snapshot can be cut at an
+  // arbitrary slot: the reference run continues untouched, the probe run
+  // serializes at slot k, restores into a *fresh* controller, and finishes
+  // with it.  Both trajectories must agree to the bit — the contract fig9's
+  // snapshot arm and the supervisor's crash recovery both stand on.
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  for (std::uint64_t seed : {3u, 11u, 29u, 47u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::size_t slots = 12;
+    const std::size_t cut = 3 + static_cast<std::size_t>(seed % 5);
+
+    auto drive = [&](bool restore_at_cut) {
+      streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+      auto controller = std::make_unique<core::DragsterController>(core::DragsterOptions{});
+      controller->initialize(engine.monitor(), engine);
+      std::vector<double> series;
+      for (std::size_t t = 0; t < slots; ++t) {
+        if (restore_at_cut && t == cut) {
+          resilience::SnapshotWriter writer;
+          controller->save_state(writer);
+          resilience::SnapshotReader reader(writer.str());
+          auto restored = std::make_unique<core::DragsterController>(core::DragsterOptions{});
+          restored->initialize(engine.monitor(), engine);
+          restored->load_state(reader);
+          controller = std::move(restored);
+        }
+        const streamsim::SlotReport& report = engine.run_slot();
+        controller->on_slot(engine.monitor(), engine);
+        series.push_back(report.throughput_rate);
+        series.push_back(report.tuples_processed);
+        series.push_back(report.cost);
+      }
+      return series;
+    };
+
+    const std::vector<double> reference = drive(false);
+    const std::vector<double> restored = drive(true);
+    ASSERT_EQ(reference.size(), restored.size());
+    for (std::size_t k = 0; k < reference.size(); ++k)
+      EXPECT_EQ(bits(reference[k]), bits(restored[k])) << "sample " << k;
+  }
+}
+
+}  // namespace
+}  // namespace dragster
