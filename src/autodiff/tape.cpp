@@ -50,6 +50,7 @@ Var Tape::mul(Var a, Var b) { return binary(a.value() * b.value(), a, b.value(),
 
 Var Tape::div(Var a, Var b) {
   const double bv = b.value();
+  // draglint:allow(DL004 exact-zero precondition: only bv == 0.0 divides by zero)
   DRAGSTER_REQUIRE(bv != 0.0, "division by zero on tape");
   return binary(a.value() / bv, a, 1.0 / bv, b, -a.value() / (bv * bv));
 }
@@ -84,11 +85,13 @@ Var Tape::exp(Var a) {
 Var Tape::sqrt(Var a) {
   DRAGSTER_REQUIRE(a.value() >= 0.0, "sqrt of negative value on tape");
   const double s = std::sqrt(a.value());
+  // draglint:allow(DL004 exact-zero guard: derivative 0.5/s is singular only at s == 0.0)
   return unary(s, a, s == 0.0 ? 0.0 : 0.5 / s);
 }
 
 Var Tape::pow(Var a, double exponent) {
   const double v = std::pow(a.value(), exponent);
+  // draglint:allow(DL004 exact-zero guard: the quotient form is singular only at exactly 0.0)
   const double da = a.value() == 0.0 ? 0.0 : exponent * v / a.value();
   return unary(v, a, da);
 }
@@ -107,6 +110,7 @@ std::vector<double> Tape::gradient(Var root) const {
   for (std::size_t i = root.index() + 1; i-- > 0;) {
     const Node& node = nodes_[i];
     const double adj = adjoint[i];
+    // draglint:allow(DL004 sparsity skip: propagating an exactly-zero adjoint is a no-op)
     if (adj == 0.0) continue;
     for (int p = 0; p < 2; ++p) {
       if (node.parent[p] == Node::kNoParent) continue;

@@ -25,29 +25,29 @@ class Rng {
   [[nodiscard]] Rng substream(std::string_view label, std::uint64_t index = 0) const noexcept;
 
   /// Uniform in [0, 2^64).
-  std::uint64_t next_u64() noexcept;
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
 
   /// Uniform double in [0, 1).
-  double uniform() noexcept;
+  [[nodiscard]] double uniform() noexcept;
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi) noexcept;
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
 
   /// Uniform integer in [lo, hi] (inclusive).
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Standard normal via Box-Muller (cached pair for efficiency).
-  double normal() noexcept;
+  [[nodiscard]] double normal() noexcept;
 
   /// Normal with the given mean / standard deviation.
-  double normal(double mean, double stddev) noexcept;
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
 
   /// Poisson-distributed count with the given mean (Knuth for small
   /// means, normal approximation above 64).
-  std::uint64_t poisson(double mean) noexcept;
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
 
   /// True with probability p (clamped to [0, 1]).
-  bool bernoulli(double p) noexcept;
+  [[nodiscard]] bool bernoulli(double p) noexcept;
 
  private:
   std::uint64_t state_[4];

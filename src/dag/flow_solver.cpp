@@ -174,6 +174,7 @@ LagrangianResult FlowSolver::lagrangian(std::span<const double> source_rates,
   autodiff::Var lagr = tf.sink_inflow;
   for (NodeId id = 0; id < n; ++id) {
     if (dag_.component(id).kind != ComponentKind::kOperator) continue;
+    // draglint:allow(DL004 sparsity skip: an exactly-zero multiplier contributes nothing)
     if (lambda[id] == 0.0) continue;
     const autodiff::Var zero = tf.tape->constant(0.0);
     const autodiff::Var demand = tf.tape->constant(observed_demand[id]);

@@ -40,6 +40,7 @@ void check_event(FaultEvent& event) {
   DRAGSTER_REQUIRE(event.duration_slots >= 1, "fault duration must be at least one slot");
   switch (event.kind) {
     case FaultKind::kPodCrash:
+      // draglint:allow(DL004 0.0 is the exact value-absent sentinel, never a computed result)
       if (event.value == 0.0) event.value = 1.0;  // default: one pod
       DRAGSTER_REQUIRE(event.value >= 1.0, "crash needs at least one pod");
       DRAGSTER_REQUIRE(!event.op.empty(), "crash needs a target operator");
@@ -61,6 +62,7 @@ void check_event(FaultEvent& event) {
       break;
     case FaultKind::kSchedulerOutage:
       DRAGSTER_REQUIRE(event.op.empty(), "schedfail takes no ':operator' target");
+      // draglint:allow(DL004 0.0 is the exact value-absent sentinel, never a computed result)
       DRAGSTER_REQUIRE(event.value == 0.0, "schedfail takes no '*value'");
       break;
     case FaultKind::kSchedulerDelay:
@@ -148,6 +150,7 @@ FaultEvent parse_event(const std::string& text) {
   // but a *typed* modifier that the event ignores or that would be silently
   // re-interpreted is a spec bug and must not parse.
   if (saw_value) {
+    // draglint:allow(DL004 rejecting the literal spec token '*0': exact comparison intended)
     DRAGSTER_REQUIRE(event.value != 0.0, "explicit '*0' in fault event '" + text + "'");
     switch (event.kind) {
       case FaultKind::kPodCrash:
@@ -193,6 +196,7 @@ std::string FaultEvent::to_string() const {
   if (duration_slots != 1) oss << '+' << duration_slots;
   if (kind == FaultKind::kStraggler || kind == FaultKind::kCheckpointFailure ||
       kind == FaultKind::kSchedulerDelay ||
+      // draglint:allow(DL004 1.0 is the normalized pod-count default; parse() re-normalizes it)
       (kind == FaultKind::kPodCrash && value != 1.0)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", value);

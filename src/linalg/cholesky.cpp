@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -55,12 +54,12 @@ Cholesky::Cholesky(const Matrix& a, double jitter) : jitter_(jitter) {
                             << " to factor (near-singular kernel matrix?)";
       return;
     }
-    added = added == 0.0 ? jitter_ : added * 10.0;
+    added = attempt == 0 ? jitter_ : added * 10.0;
   }
   // `added` overshot by one escalation when the loop exited; report the
   // largest value actually tried.
-  throw std::runtime_error("Cholesky: matrix is not positive definite even with jitter " +
-                           format_jitter(added / 10.0));
+  throw dragster::Error("Cholesky: matrix is not positive definite even with jitter " +
+                        format_jitter(added / 10.0));
 }
 
 Vector Cholesky::solve_lower(const Vector& b) const {
@@ -100,7 +99,7 @@ void Cholesky::extend(const Vector& col, double diag) {
          ++attempt)
       added *= 10.0;
     if (!std::isfinite(pivot_sq) || pivot_sq + added <= 0.0)
-      throw std::runtime_error(
+      throw dragster::Error(
           "Cholesky::extend: update breaks positive definiteness even with jitter " +
           format_jitter(added));
     pivot_sq += added;

@@ -14,7 +14,7 @@ class Cholesky {
  public:
   /// Factors the SPD matrix `a` as L L^T.  If `a` is near-singular, a jitter
   /// of escalating magnitude (starting at `jitter`) is added to the diagonal;
-  /// throws std::runtime_error if factorization still fails after escalation.
+  /// throws dragster::Error if factorization still fails after escalation.
   explicit Cholesky(const Matrix& a, double jitter = 1e-10);
 
   /// Solves A x = b.

@@ -65,6 +65,7 @@ Matrix operator*(const Matrix& a, const Matrix& b) {
   for (std::size_t i = 0; i < a.rows(); ++i) {
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
+      // draglint:allow(DL004 sparsity skip: an exactly-zero factor contributes nothing)
       if (aik == 0.0) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
     }

@@ -190,7 +190,9 @@ class Engine final : public ScalingActuator {
   void set_tasks(dag::NodeId op, int tasks) override;
   void set_pod_spec(dag::NodeId op, cluster::PodSpec spec) override;
 
-  /// Advances one controller slot and returns its report.
+  /// Advances one controller slot and returns its report.  Deliberately not
+  /// [[nodiscard]]: advancing the simulation is a legitimate reason to call
+  /// this, and tests do so in bulk.
   const SlotReport& run_slot();
 
   /// Attaches an observability registry: run_slot() publishes a per-slot

@@ -99,7 +99,7 @@ void expect_epoch_invariant(const ActuationManager& manager) {
 const OperatorStats& stats_for(const std::vector<OperatorStats>& all, dag::NodeId op) {
   for (const OperatorStats& stats : all)
     if (stats.op == op) return stats;
-  throw std::runtime_error("no stats for operator");
+  throw dragster::Error("no stats for operator");
 }
 
 // ---------------------------------------------------------------------------

@@ -38,7 +38,7 @@ TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
   // Drawing from the root must not change what a later-derived substream
   // yields.
   Rng root2(7);
-  for (int i = 0; i < 10; ++i) root2.next_u64();
+  for (int i = 0; i < 10; ++i) (void)root2.next_u64();
   Rng child2 = root2.substream("alpha", 3);
   // substream derives from the *initial* state, which next_u64 mutates; the
   // guarantee we need is same (seed,label,index) => same stream.

@@ -1,0 +1,143 @@
+// draglint is itself under test: the checked-in corpus pins down exactly
+// where every rule fires and that the escape hatch suppresses findings.  The
+// final test scans the real tree, which makes `ctest` a local lint gate —
+// a determinism-contract violation anywhere in src/ bench/ examples/ fails
+// the suite before CI ever sees the push.
+//
+// The binary path and corpus directory are injected by CMake:
+//   DRAGLINT_BIN          $<TARGET_FILE:draglint>
+//   DRAGLINT_CORPUS       <repo>/tools/draglint/corpus
+//   DRAGLINT_SOURCE_ROOT  <repo>
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::vector<std::string> lines;
+};
+
+LintRun run_draglint(const std::string& args) {
+  const std::string command = std::string(DRAGLINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch " << command;
+  LintRun run;
+  if (pipe == nullptr) return run;
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, got);
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::istringstream stream(output);
+  for (std::string line; std::getline(stream, line);)
+    if (!line.empty()) run.lines.push_back(line);
+  return run;
+}
+
+/// (file basename, line, rule id) for one `path:line: DLnnn message` line.
+using Key = std::tuple<std::string, int, std::string>;
+
+std::set<Key> parse_findings(const LintRun& run) {
+  std::set<Key> keys;
+  for (const std::string& line : run.lines) {
+    const std::size_t first_colon = line.find(':');
+    const std::size_t second_colon = line.find(':', first_colon + 1);
+    if (first_colon == std::string::npos || second_colon == std::string::npos) continue;
+    const std::string path = line.substr(0, first_colon);
+    const std::string basename = path.substr(path.find_last_of('/') + 1);
+    const int line_no = std::atoi(line.c_str() + first_colon + 1);
+    const std::size_t rule_at = second_colon + 2;
+    if (rule_at + 5 > line.size() || line.compare(rule_at, 2, "DL") != 0) continue;
+    keys.insert({basename, line_no, line.substr(rule_at, 5)});
+  }
+  return keys;
+}
+
+std::string corpus(const char* subdir) { return std::string(DRAGLINT_CORPUS) + "/" + subdir; }
+
+}  // namespace
+
+// Every rule fires at exactly the lines the corpus annotates — no more, no
+// fewer.  A tokenizer or rule regression shows up as a set diff here.
+TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
+  const LintRun run = run_draglint("--assume-src --fix-list " + corpus("bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  const std::set<Key> expected = {
+      {"allow_no_reason.cpp", 9, "DL000"},   // reasonless allow
+      {"allow_no_reason.cpp", 10, "DL004"},  // ...which therefore fails to suppress
+      {"allow_no_reason.cpp", 14, "DL000"},  // allow naming an unknown rule
+      {"entropy.cpp", 11, "DL001"},          // rand()
+      {"entropy.cpp", 15, "DL001"},          // srand()
+      {"entropy.cpp", 19, "DL001"},          // std::random_device
+      {"entropy.cpp", 24, "DL001"},          // steady_clock::now
+      {"entropy.cpp", 29, "DL001"},          // time()
+      {"float_eq.cpp", 7, "DL004"},          // x == 0.0
+      {"float_eq.cpp", 11, "DL004"},         // 1.5 != x
+      {"float_eq.cpp", 15, "DL004"},         // double a == double b
+      {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
+      {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
+      {"throw_type.cpp", 13, "DL003"},       // std::runtime_error
+      {"throw_type.cpp", 17, "DL003"},       // ad-hoc local type
+      {"throw_type.cpp", 21, "DL003"},       // std::logic_error
+      {"unordered.cpp", 25, "DL002"},        // range-for over unordered_map
+      {"unordered.cpp", 28, "DL002"},        // .begin() on unordered_set
+  };
+  EXPECT_EQ(parse_findings(run), expected);
+}
+
+// The good corpus — deterministic idioms plus reasoned allow directives in
+// both placements — must scan entirely clean.
+TEST(Draglint, GoodCorpusIncludingAllowDirectivesIsClean) {
+  const LintRun run = run_draglint("--assume-src --fix-list " + corpus("good"));
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(run.lines.empty()) << run.lines.front();
+}
+
+// The allow hatch is what separates good/allowed.cpp from a finding: the same
+// comparisons without directives (float_eq.cpp) do fire.  Cross-check that
+// the suppression is attributable to the directive, not to a scope accident.
+TEST(Draglint, AllowHatchIsWhatSuppresses) {
+  const LintRun good = run_draglint("--assume-src --fix-list " + corpus("good") + "/allowed.cpp");
+  EXPECT_EQ(good.exit_code, 0);
+  const LintRun bad = run_draglint("--assume-src --fix-list " + corpus("bad") + "/float_eq.cpp");
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_EQ(parse_findings(bad).size(), 3U);
+}
+
+// Library-scoped rules (DL001/3/4/5) stay quiet outside src/ unless
+// --assume-src: bench and example code may legitimately read wall clocks.
+TEST(Draglint, LibraryRulesScopeToSrcOnly) {
+  const LintRun run = run_draglint("--fix-list " + corpus("bad"));
+  EXPECT_EQ(run.exit_code, 1);
+  for (const auto& [file, line_no, rule] : parse_findings(run))
+    EXPECT_TRUE(rule == "DL000" || rule == "DL002")
+        << file << ":" << line_no << " fired src-scoped " << rule << " without --assume-src";
+}
+
+TEST(Draglint, RuleTableListsAllIds) {
+  const LintRun run = run_draglint("--rules");
+  EXPECT_EQ(run.exit_code, 0);
+  std::string joined;
+  for (const std::string& line : run.lines) joined += line + "\n";
+  for (const char* id : {"DL000", "DL001", "DL002", "DL003", "DL004", "DL005"})
+    EXPECT_NE(joined.find(id), std::string::npos) << "missing " << id;
+}
+
+// The real tree is the ultimate corpus: src/ bench/ examples/ must scan
+// clean, which turns the whole ctest run into a blocking lint gate.
+TEST(Draglint, RepositoryTreeScansClean) {
+  const LintRun run = run_draglint("--fix-list --root " + std::string(DRAGLINT_SOURCE_ROOT));
+  EXPECT_EQ(run.exit_code, 0);
+  for (const std::string& line : run.lines) ADD_FAILURE() << line;
+}

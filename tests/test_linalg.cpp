@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
@@ -122,7 +123,7 @@ TEST(Cholesky, JitterRescuesSemidefinite) {
 
 TEST(Cholesky, RejectsIndefinite) {
   const Matrix a{{1.0, 0.0}, {0.0, -5.0}};
-  EXPECT_THROW(Cholesky{a}, std::runtime_error);
+  EXPECT_THROW(Cholesky{a}, dragster::Error);
 }
 
 TEST(Cholesky, ExtendMatchesFullFactorization) {
@@ -170,8 +171,8 @@ TEST(Cholesky, IndefiniteErrorReportsFinalJitter) {
   const Matrix a{{1.0, 0.0}, {0.0, -5.0}};
   try {
     const Cholesky chol(a);
-    FAIL() << "expected std::runtime_error";
-  } catch (const std::runtime_error& error) {
+    FAIL() << "expected dragster::Error";
+  } catch (const dragster::Error& error) {
     EXPECT_NE(std::string(error.what()).find("jitter"), std::string::npos) << error.what();
   }
 }

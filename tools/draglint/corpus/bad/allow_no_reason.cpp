@@ -1,0 +1,18 @@
+// DL000 corpus: escape hatches that do not carry their weight.  A reasonless
+// allow is itself a finding AND fails to suppress the underlying one; an
+// allow naming an unknown rule is a finding too.
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+bool reasonless(double x) {
+  // draglint:allow(DL004)
+  return x == 0.0;  // line 10: DL004 still fires; line 9 adds DL000
+}
+
+bool unknown_rule(int a, int b) {
+  // draglint:allow(DL999 this rule does not exist)
+  return a == b;  // line 15 itself is clean; line 14 adds DL000
+}
+
+}  // namespace corpus

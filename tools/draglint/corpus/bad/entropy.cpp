@@ -1,0 +1,32 @@
+// DL001 corpus: every ambient-entropy construct the rule must catch.
+// This file is lint corpus only — it is never compiled or linked.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+int ambient_rand() {
+  return rand();  // line 11: banned C RNG
+}
+
+void seed_it() {
+  srand(42);  // line 15: banned seeding of the process RNG
+}
+
+unsigned hardware_entropy() {
+  std::random_device device;  // line 19: nondeterministic entropy source
+  return device();
+}
+
+long long wall_clock() {
+  const auto t = std::chrono::steady_clock::now();  // line 24: wall-clock read
+  return t.time_since_epoch().count();
+}
+
+long long system_time() {
+  return static_cast<long long>(time(nullptr));  // line 29: C time()
+}
+
+}  // namespace corpus

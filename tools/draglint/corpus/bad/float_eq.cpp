@@ -1,0 +1,25 @@
+// DL004 corpus: floating-point equality comparisons.
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+bool literal_compare(double x) {
+  return x == 0.0;  // line 7: float-literal operand
+}
+
+bool literal_not_equal(double x) {
+  return 1.5 != x;  // line 11: float-literal operand, literal on the left
+}
+
+bool tracked_pair(double a, double b) {
+  return a == b;  // line 15: both sides are declared doubles
+}
+
+// Clean: no float involved.  (The parameter names are deliberately distinct
+// from the doubles above — draglint's declaration tracking is file-wide, so
+// reusing a tracked double's name for an int would count as a float operand.)
+bool integer_compare(int lhs, int rhs) {
+  return lhs == rhs;
+}
+
+}  // namespace corpus

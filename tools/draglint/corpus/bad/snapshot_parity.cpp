@@ -1,0 +1,38 @@
+// DL005 corpus: save_state() and load_state() disagree on the field set.
+// "slot" round-trips; "orphan_write" is saved but never restored (state lost
+// on recovery); "orphan_read" is restored but never saved (restore throws).
+// This file is lint corpus only — it is never compiled or linked.
+#include <string>
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void begin_section(const std::string& name);
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  void enter_section(const std::string& name);
+  double get_double(const std::string& key) const;
+};
+
+class Learner {
+ public:
+  void save_state(SnapshotWriter& writer) const {  // line 21: orphan_write lost
+    writer.begin_section("learner");
+    writer.field("slot", slot_);
+    writer.field("orphan_write", rate_);
+  }
+
+  void load_state(SnapshotReader& reader) {  // line 27: orphan_read never saved
+    reader.enter_section("learner");
+    slot_ = reader.get_double("slot");
+    rate_ = reader.get_double("orphan_read");
+  }
+
+ private:
+  double slot_ = 0.0;
+  double rate_ = 0.0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,24 @@
+// DL003 corpus: throws of anything that is not dragster::Error.
+// This file is lint corpus only — it is never compiled or linked.
+#include <stdexcept>
+#include <string>
+
+namespace corpus {
+
+struct LocalError {
+  explicit LocalError(std::string message);
+};
+
+void standard_type(bool bad) {
+  if (bad) throw std::runtime_error("wrong type");  // line 13: std type
+}
+
+void local_type(bool bad) {
+  if (bad) throw LocalError("also wrong");  // line 17: ad-hoc type
+}
+
+void logic(bool bad) {
+  if (bad) throw std::logic_error("still wrong");  // line 21: std type
+}
+
+}  // namespace corpus

@@ -1,0 +1,34 @@
+// DL002 corpus: unordered-container iteration in a file that writes
+// deterministic output (the SnapshotWriter/expose markers below).
+// This file is lint corpus only — it is never compiled or linked.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace corpus {
+
+struct SnapshotWriter {  // marker: this file writes snapshot output
+  void field(const std::string& key, double value);
+};
+
+class Exporter {
+ public:
+  std::string expose() const;  // marker: exposition output
+
+ private:
+  std::unordered_map<std::string, double> samples_;
+  std::unordered_set<std::string> names_;
+};
+
+std::string Exporter::expose() const {
+  std::string out;
+  for (const auto& [name, value] : samples_) {  // line 25: unordered range-for
+    out += name;
+  }
+  for (auto it = names_.begin(); it != names_.end(); ++it) {  // line 28: .begin()
+    out += *it;
+  }
+  return out;
+}
+
+}  // namespace corpus

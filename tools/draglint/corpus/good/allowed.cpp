@@ -1,0 +1,21 @@
+// Allow-hatch corpus: real violations, each suppressed by a reasoned
+// draglint:allow — both placements (own line above, and same line).
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+bool allowed_above(double x) {
+  // draglint:allow(DL004 exact-zero sentinel check, value is never computed)
+  return x == 0.0;
+}
+
+bool allowed_inline(double x) {
+  return x != 0.0;  // draglint:allow(DL004 exact-zero sentinel check on parsed input)
+}
+
+long long allowed_entropy() {
+  // draglint:allow(DL001 corpus demonstration that the hatch spans any rule)
+  return static_cast<long long>(time(nullptr));
+}
+
+}  // namespace corpus

@@ -1,0 +1,83 @@
+// Clean corpus: deterministic idioms that must produce zero findings.
+// This file is lint corpus only — it is never compiled or linked.
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dragster {
+
+class Error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+}  // namespace dragster
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void begin_section(const std::string& name);
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  void enter_section(const std::string& name);
+  double get_double(const std::string& key) const;
+};
+
+// Ordered iteration feeding output: fine.
+class Exporter {
+ public:
+  std::string expose() const {
+    std::string out;
+    for (const auto& [name, value] : samples_) out += name;
+    return out;
+  }
+
+ private:
+  std::map<std::string, double> samples_;
+};
+
+// Balanced snapshot fields: fine.
+class Learner {
+ public:
+  void save_state(SnapshotWriter& writer) const {
+    writer.begin_section("learner");
+    writer.field("slot", slot_);
+    writer.field("rate", rate_);
+  }
+
+  void load_state(SnapshotReader& reader) {
+    reader.enter_section("learner");
+    slot_ = reader.get_double("slot");
+    rate_ = reader.get_double("rate");
+  }
+
+ private:
+  double slot_ = 0.0;
+  double rate_ = 0.0;
+};
+
+// The blessed exception type, bare rethrow, and rethrow of a caught object.
+void raise(bool bad) {
+  if (bad) throw dragster::Error("contract violation");
+  try {
+    raise(true);
+  } catch (dragster::Error& error) {
+    throw error;
+  } catch (...) {
+    throw;
+  }
+}
+
+// Epsilon comparison and ordering comparisons: fine.
+bool close(double a, double b) { return std::fabs(a - b) < 1e-12; }
+bool ordered(double a, double b) { return a < b || a > b; }
+bool int_equality(int lhs, int rhs) { return lhs == rhs; }
+
+// A local identifier that *mentions* time is not a wall-clock read.
+double slot_time(int slot, double seconds_per_slot) { return slot * seconds_per_slot; }
+
+}  // namespace corpus

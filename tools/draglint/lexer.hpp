@@ -1,0 +1,65 @@
+// Minimal C++ tokenizer for draglint.
+//
+// draglint deliberately avoids libclang: the determinism contract it enforces
+// (no ambient entropy, ordered iteration before output, one exception type,
+// no float equality, snapshot field parity) is expressible over a token
+// stream, and a token-level tool builds in ~1s with the same toolchain as the
+// library, runs with zero dependencies, and never goes stale against a
+// compile_commands.json.  The price is that the rules are heuristics — the
+// escape hatch (`// draglint:allow(RULE reason)`) exists for the residue.
+//
+// The lexer understands exactly enough C++: line/block comments, string
+// literals (including raw strings and encoding prefixes), character
+// literals, pp-numbers (hexfloats, digit separators, exponents), identifiers
+// and multi-character punctuators.  Preprocessor directives are tokenized
+// like ordinary lines but tagged so rules can skip `#include <ctime>` et al.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace draglint {
+
+enum class TokenKind {
+  kIdentifier,   ///< identifiers and keywords (no keyword table needed)
+  kNumber,       ///< pp-number: integers, floats, hexfloats
+  kString,       ///< string literal, prefix and quotes included
+  kChar,         ///< character literal
+  kPunct,        ///< operators / punctuation, longest-match (e.g. "::", "==")
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 0;          ///< 1-based line of the first character
+  bool in_preproc = false;  ///< token belongs to a preprocessor directive
+};
+
+/// One `// draglint:allow(RULE-ID reason...)` directive.  A directive on a
+/// line suppresses findings for RULE-ID on that line and, when it is the only
+/// thing on its line, on the following line.
+struct AllowDirective {
+  std::string rule_id;
+  std::string reason;   ///< empty reason is itself a lint error (DL000)
+  int line = 0;
+  bool alone_on_line = false;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<AllowDirective> allows;
+  int line_count = 0;
+};
+
+/// Tokenizes `text`.  Never fails: malformed trailing constructs degrade to
+/// best-effort tokens (a lint tool must not die on the code it is judging).
+[[nodiscard]] LexedFile lex(const std::string& path, const std::string& text);
+
+/// True when the number token spells a floating-point constant (has a '.',
+/// a decimal exponent, or a hexfloat binary exponent — `0x1F` is not float,
+/// `0x1p3`, `1e9`, `1.f` are).
+[[nodiscard]] bool is_float_literal(const Token& token);
+
+}  // namespace draglint

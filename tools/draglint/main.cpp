@@ -1,0 +1,153 @@
+// draglint — static enforcement of the dragster determinism contract.
+//
+// Usage:
+//   draglint [options] [path...]
+//
+//   path...        files or directories to scan (default: src bench examples,
+//                  resolved against --root)
+//   --root DIR     repository root (default: current directory)
+//   --fix-list     one `file:line: RULE-ID message` line per finding, nothing
+//                  else — the format CI and editors consume
+//   --assume-src   apply the src/-scoped rules (DL001/3/4/5) to every scanned
+//                  file, not only paths under src/ (used by the corpus tests)
+//   --rules        print the rule table and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool has_cpp_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" || ext == ".h" ||
+         ext == ".hh";
+}
+
+/// True for paths the library-scoped rules apply to: anything under a `src`
+/// directory component.
+bool under_src(const fs::path& path) {
+  return std::any_of(path.begin(), path.end(),
+                     [](const fs::path& part) { return part == "src"; });
+}
+
+std::vector<fs::path> collect_files(const std::vector<fs::path>& roots, std::string* error) {
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); it.increment(ec)) {
+        if (ec) break;
+        if (it->is_regular_file(ec) && has_cpp_extension(it->path())) files.push_back(it->path());
+      }
+    } else {
+      *error = "draglint: no such file or directory: " + root.string();
+      return {};
+    }
+  }
+  // Deterministic output regardless of directory enumeration order — this
+  // tool polices determinism; it had better exhibit it.
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  fs::path base = ".";
+  bool fix_list = false;
+  bool assume_src = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-list") {
+      fix_list = true;
+    } else if (arg == "--assume-src") {
+      assume_src = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "draglint: --root needs a directory\n";
+        return 2;
+      }
+      base = argv[++i];
+    } else if (arg == "--rules") {
+      for (const draglint::RuleInfo& rule : draglint::rule_table())
+        std::cout << rule.id << "  " << rule.name << "\n    " << rule.summary << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: draglint [--root DIR] [--fix-list] [--assume-src] [--rules] "
+                   "[path...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "draglint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty())
+    for (const char* dir : {"src", "bench", "examples"}) {
+      const fs::path candidate = base / dir;
+      std::error_code ec;
+      if (fs::exists(candidate, ec)) roots.push_back(candidate);
+    }
+  if (roots.empty()) {
+    std::cerr << "draglint: nothing to scan (no src/bench/examples under " << base << ")\n";
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<fs::path> files = collect_files(roots, &error);
+  if (!error.empty()) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+
+  std::vector<draglint::Finding> findings;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "draglint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const draglint::LexedFile lexed = draglint::lex(path.generic_string(), text.str());
+    const bool library_scope = assume_src || under_src(path);
+    for (draglint::Finding& f : draglint::scan_file(lexed, library_scope))
+      findings.push_back(std::move(f));
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const draglint::Finding& a, const draglint::Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule_id < b.rule_id;
+            });
+
+  for (const draglint::Finding& f : findings)
+    std::cout << f.path << ":" << f.line << ": " << f.rule_id << " " << f.message << "\n";
+  if (!fix_list) {
+    if (findings.empty())
+      std::cout << "draglint: clean (" << files.size() << " files)\n";
+    else
+      std::cout << "draglint: " << findings.size() << " finding(s) in " << files.size()
+                << " files scanned\n";
+  }
+  return findings.empty() ? 0 : 1;
+}

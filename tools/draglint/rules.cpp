@@ -1,0 +1,486 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace draglint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Index-safe accessors: out-of-range reads yield a sentinel punct token so
+/// rule code can look at neighbors without bounds checks everywhere.
+const Token& at(const Tokens& tokens, std::size_t i) {
+  static const Token sentinel{TokenKind::kPunct, "", 0, false};
+  return i < tokens.size() ? tokens[i] : sentinel;
+}
+
+std::string unquote(const std::string& literal) {
+  const std::size_t open = literal.find('"');
+  const std::size_t close = literal.rfind('"');
+  if (open == std::string::npos || close <= open) return literal;
+  return literal.substr(open + 1, close - open - 1);
+}
+
+// ---------------------------------------------------------------------------
+// DL001 — ambient entropy
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& banned_entropy_calls() {
+  static const std::set<std::string> names = {
+      "rand",     "srand",        "rand_r",        "drand48",      "lrand48",
+      "mrand48",  "gettimeofday", "clock_gettime", "timespec_get", "localtime",
+      "gmtime",   "mktime",
+  };
+  return names;
+}
+
+const std::set<std::string>& banned_entropy_types() {
+  static const std::set<std::string> names = {"random_device"};
+  return names;
+}
+
+const std::set<std::string>& clock_types() {
+  static const std::set<std::string> names = {"steady_clock", "system_clock",
+                                              "high_resolution_clock", "utc_clock", "file_clock"};
+  return names;
+}
+
+void rule_entropy(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || t[i].in_preproc) continue;
+    const Token& prev = at(t, i - 1);
+    const bool member_access = is_punct(prev, ".") || is_punct(prev, "->");
+    // Non-std qualification (`myns::rand`) is somebody else's symbol.
+    const bool foreign_scope =
+        is_punct(prev, "::") && !is_ident(at(t, i - 2), "std") && !is_ident(at(t, i - 2), "chrono");
+
+    if (banned_entropy_types().count(t[i].text) != 0U && !member_access && !foreign_scope) {
+      out->push_back({"DL001", file.path, t[i].line,
+                      "ambient entropy: '" + t[i].text +
+                          "' — all randomness must derive from seeded common::Rng substreams"});
+      continue;
+    }
+    if (clock_types().count(t[i].text) != 0U && is_punct(at(t, i + 1), "::") &&
+        is_ident(at(t, i + 2), "now")) {
+      out->push_back({"DL001", file.path, t[i].line,
+                      "wall-clock read: '" + t[i].text +
+                          "::now' — timestamps must be slot indices, not wall time"});
+      continue;
+    }
+    if (!is_punct(at(t, i + 1), "(") || member_access || foreign_scope) continue;
+    if (banned_entropy_calls().count(t[i].text) != 0U) {
+      out->push_back({"DL001", file.path, t[i].line,
+                      "ambient entropy: '" + t[i].text +
+                          "()' — all randomness must derive from seeded common::Rng substreams"});
+      continue;
+    }
+    if (t[i].text == "time" || t[i].text == "clock") {
+      out->push_back({"DL001", file.path, t[i].line,
+                      "wall-clock read: '" + t[i].text +
+                          "()' — timestamps must be slot indices, not wall time"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Declaration tracking shared by DL002 and DL004
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& unordered_type_names() {
+  static const std::set<std::string> names = {"unordered_map", "unordered_set",
+                                              "unordered_multimap", "unordered_multiset",
+                                              "flat_hash_map", "flat_hash_set"};
+  return names;
+}
+
+/// Skips a balanced template-argument list starting at `<`; returns the index
+/// one past the matching `>`.  `>>` closes two levels (the lexer emits it as
+/// one token).
+std::size_t skip_template_args(const Tokens& t, std::size_t i) {
+  if (!is_punct(at(t, i), "<")) return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    }
+    if (is_punct(t[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (is_punct(t[i], ";")) return i;  // malformed; bail
+  }
+  return i;
+}
+
+/// Variable names declared with an unordered container type (directly or via
+/// a `using Alias = std::unordered_map<...>` alias declared in this file).
+std::set<std::string> collect_unordered_vars(const Tokens& t) {
+  std::set<std::string> unordered_types;  // aliases that resolve to unordered
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool direct = t[i].kind == TokenKind::kIdentifier &&
+                        unordered_type_names().count(t[i].text) != 0U;
+    const bool aliased =
+        t[i].kind == TokenKind::kIdentifier && unordered_types.count(t[i].text) != 0U;
+    if (!direct && !aliased) continue;
+    // `using X = ... unordered_map<...> ...;` — record the alias.
+    for (std::size_t back = i; back > 0 && back + 8 > i; --back) {
+      if (is_punct(t[back], ";") || is_punct(t[back], "{") || is_punct(t[back], "}")) break;
+      if (is_ident(t[back], "using") && at(t, back + 2).kind == TokenKind::kPunct &&
+          is_punct(at(t, back + 2), "=")) {
+        unordered_types.insert(at(t, back + 1).text);
+        break;
+      }
+    }
+    std::size_t j = direct ? skip_template_args(t, i + 1) : i + 1;
+    // Skip cv/ref/pointer decorations between the type and the name.
+    while (is_punct(at(t, j), "&") || is_punct(at(t, j), "*") || is_ident(at(t, j), "const")) ++j;
+    if (at(t, j).kind == TokenKind::kIdentifier) vars.insert(at(t, j).text);
+  }
+  return vars;
+}
+
+/// Variable names declared `double x` / `float y` (locals, members, params).
+std::set<std::string> collect_float_vars(const Tokens& t) {
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "double") && !is_ident(t[i], "float")) continue;
+    std::size_t j = i + 1;
+    while (is_punct(at(t, j), "&") || is_ident(at(t, j), "const")) ++j;
+    const Token& name = at(t, j);
+    if (name.kind != TokenKind::kIdentifier) continue;
+    // `double foo(` declares a function, not a variable.
+    if (is_punct(at(t, j + 1), "(")) continue;
+    vars.insert(name.text);
+  }
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// DL002 — unordered iteration feeding deterministic output
+// ---------------------------------------------------------------------------
+
+bool writes_deterministic_output(const Tokens& t) {
+  static const std::set<std::string> markers = {"SnapshotWriter", "TraceSink", "save_state",
+                                                "expose"};
+  return std::any_of(t.begin(), t.end(), [](const Token& tok) {
+    return tok.kind == TokenKind::kIdentifier && markers.count(tok.text) != 0U;
+  });
+}
+
+void rule_unordered(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  if (!writes_deterministic_output(t)) return;
+  const std::set<std::string> vars = collect_unordered_vars(t);
+  if (vars.empty()) return;
+
+  auto flag = [&](const Token& where, const std::string& var) {
+    out->push_back({"DL002", file.path, where.line,
+                    "iteration over unordered container '" + var +
+                        "' in a file that writes snapshot/trace/exposition output — use an "
+                        "ordered container or sort first"});
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for: `for ( decl : range-expr )` — any unordered variable in the
+    // range expression makes the visit order nondeterministic.
+    if (is_ident(t[i], "for") && is_punct(at(t, i + 1), "(")) {
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (is_punct(t[j], "(")) ++depth;
+        if (is_punct(t[j], ")") && --depth == 0) {
+          close = j;
+          break;
+        }
+        if (depth == 1 && is_punct(t[j], ":") && colon == 0) colon = j;
+        if (depth == 1 && is_punct(t[j], ";")) break;  // classic for, not range-for
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (t[j].kind == TokenKind::kIdentifier && vars.count(t[j].text) != 0U) {
+            flag(t[i], t[j].text);
+            break;
+          }
+        }
+      }
+    }
+    // Iterator loops: `x.begin()` / `x.cbegin()` on a tracked variable.
+    if (t[i].kind == TokenKind::kIdentifier && vars.count(t[i].text) != 0U &&
+        (is_punct(at(t, i + 1), ".") || is_punct(at(t, i + 1), "->"))) {
+      const std::string& m = at(t, i + 2).text;
+      if (m == "begin" || m == "end" || m == "cbegin" || m == "cend") flag(t[i], t[i].text);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DL003 — single exception type
+// ---------------------------------------------------------------------------
+
+void rule_throw(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "throw") || t[i].in_preproc) continue;
+    std::size_t j = i + 1;
+    if (is_punct(at(t, j), "::")) ++j;  // `throw ::dragster::Error(...)`
+    if (is_ident(at(t, j), "dragster") && is_punct(at(t, j + 1), "::")) j += 2;
+    if (is_punct(at(t, j), ";")) continue;                       // bare rethrow
+    if (is_ident(at(t, j), "Error")) continue;                   // the one type
+    if (at(t, j).kind == TokenKind::kIdentifier && is_punct(at(t, j + 1), ";"))
+      continue;                                                  // `throw err;` rethrow
+    std::string spelled;
+    for (std::size_t k = i + 1; k < t.size() && k < i + 8; ++k) {
+      if (is_punct(t[k], "(") || is_punct(t[k], ";") || is_punct(t[k], "{")) break;
+      spelled += t[k].text;
+    }
+    out->push_back({"DL003", file.path, t[i].line,
+                    "throw of '" + (spelled.empty() ? std::string("?") : spelled) +
+                        "' — library code must throw dragster::Error (the supervisor and "
+                        "FaultPlan parse contracts catch exactly that type)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DL004 — floating-point equality
+// ---------------------------------------------------------------------------
+
+void rule_float_eq(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  const std::set<std::string> float_vars = collect_float_vars(t);
+  // A *plain* tracked identifier: not a member access (`a.steps` may shadow a
+  // tracked local name — declaration tracking is file-wide, not scoped).
+  auto tracked = [&](std::size_t idx) {
+    const Token& tok = at(t, idx);
+    if (tok.kind != TokenKind::kIdentifier || float_vars.count(tok.text) == 0U) return false;
+    const Token& before = at(t, idx - 1);
+    return !is_punct(before, ".") && !is_punct(before, "->") && !is_punct(before, "::");
+  };
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kPunct || (t[i].text != "==" && t[i].text != "!=")) continue;
+    if (t[i].in_preproc) continue;
+    if (is_ident(at(t, i - 1), "operator")) continue;  // operator== definition
+    const Token& lhs = at(t, i - 1);
+    std::size_t r = i + 1;
+    if (is_punct(at(t, r), "-") || is_punct(at(t, r), "+")) ++r;  // unary sign
+    const Token& rhs = at(t, r);
+    // Fire on a float-literal operand, or on ident-vs-ident where both sides
+    // are tracked float variables — one tracked identifier alone is too noisy
+    // (the other operand's type is unknown at token level).
+    const bool literal_hit = is_float_literal(lhs) || is_float_literal(rhs);
+    const bool ident_hit = tracked(i - 1) && tracked(r);
+    if (!literal_hit && !ident_hit) continue;
+    const Token& culprit = is_float_literal(lhs) || tracked(i - 1) ? lhs : rhs;
+    out->push_back({"DL004", file.path, t[i].line,
+                    "floating-point '" + t[i].text + "' against '" + culprit.text +
+                        "' — use an epsilon or restructure; exact equality is only valid for "
+                        "bit-replay checks (allowlist those with a reason)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DL005 — snapshot field parity
+// ---------------------------------------------------------------------------
+
+struct KeyUse {
+  std::set<std::string> keys;
+  bool dynamic = false;  ///< saw a non-literal key; parity cannot be decided
+  int line = 0;          ///< definition line, for reporting
+  bool present = false;
+};
+
+/// Collects literal snapshot keys used inside a function body [open, close].
+void collect_keys(const Tokens& t, std::size_t open, std::size_t close, bool saving, KeyUse* use) {
+  static const std::set<std::string> readers = {"get_double", "get_int",    "get_uint",
+                                                "get_string", "get_doubles", "get_ints",
+                                                "has_key"};
+  for (std::size_t i = open; i < close; ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    const bool hit = saving ? t[i].text == "field" : readers.count(t[i].text) != 0U;
+    if (!hit || !is_punct(at(t, i + 1), "(")) continue;
+    const Token& arg = at(t, i + 2);
+    if (arg.kind == TokenKind::kString) {
+      use->keys.insert(unquote(arg.text));
+    } else {
+      use->dynamic = true;
+    }
+  }
+}
+
+void rule_snapshot_parity(const LexedFile& file, std::vector<Finding>* out) {
+  const Tokens& t = file.tokens;
+  // Track the innermost class/struct name so inline definitions attribute to
+  // their owner; out-of-line definitions use the `Owner::` qualifier.
+  std::vector<std::pair<std::string, int>> class_stack;  // (name, depth at body)
+  int depth = 0;
+  std::map<std::string, KeyUse> saves;
+  std::map<std::string, KeyUse> loads;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (is_punct(t[i], "{")) ++depth;
+    if (is_punct(t[i], "}")) {
+      --depth;
+      while (!class_stack.empty() && class_stack.back().second > depth) class_stack.pop_back();
+    }
+    if ((is_ident(t[i], "class") || is_ident(t[i], "struct")) && !is_ident(at(t, i - 1), "enum") &&
+        at(t, i + 1).kind == TokenKind::kIdentifier) {
+      // Find whether this declaration has a body before the next `;`.
+      for (std::size_t j = i + 2; j < t.size(); ++j) {
+        if (is_punct(t[j], ";")) break;
+        if (is_punct(t[j], "{")) {
+          class_stack.emplace_back(at(t, i + 1).text, depth + 1);
+          break;
+        }
+      }
+    }
+    const bool save = is_ident(t[i], "save_state");
+    const bool load = is_ident(t[i], "load_state");
+    if ((!save && !load) || !is_punct(at(t, i + 1), "(")) continue;
+    // Owner: `X::save_state` beats the enclosing class.
+    std::string owner;
+    if (is_punct(at(t, i - 1), "::") && at(t, i - 2).kind == TokenKind::kIdentifier)
+      owner = at(t, i - 2).text;
+    else if (!class_stack.empty())
+      owner = class_stack.back().first;
+    else
+      owner = "<file>";
+    // Find the body: skip the parameter list, then expect `{` (possibly after
+    // const/override/final/noexcept).  A `;` first means declaration only.
+    std::size_t j = i + 1;
+    int paren = 0;
+    for (; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++paren;
+      if (is_punct(t[j], ")") && --paren == 0) break;
+    }
+    std::size_t open = 0;
+    for (++j; j < t.size(); ++j) {
+      if (is_punct(t[j], ";")) break;
+      if (is_punct(t[j], "{")) {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0) continue;
+    int body = 0;
+    std::size_t close = open;
+    for (; close < t.size(); ++close) {
+      if (is_punct(t[close], "{")) ++body;
+      if (is_punct(t[close], "}") && --body == 0) break;
+    }
+    KeyUse& use = save ? saves[owner] : loads[owner];
+    use.present = true;
+    use.line = t[i].line;
+    collect_keys(t, open, close, save, &use);
+  }
+
+  for (const auto& [owner, save] : saves) {
+    const auto it = loads.find(owner);
+    if (it == loads.end() || !it->second.present || !save.present) continue;
+    const KeyUse& load = it->second;
+    if (save.dynamic || load.dynamic) continue;  // undecidable statically
+    for (const std::string& key : save.keys) {
+      if (load.keys.count(key) == 0U)
+        out->push_back({"DL005", file.path, save.line,
+                        "snapshot parity: key '" + key + "' written in " + owner +
+                            "::save_state but never read in load_state"});
+    }
+    for (const std::string& key : load.keys) {
+      if (save.keys.count(key) == 0U)
+        out->push_back({"DL005", file.path, load.line,
+                        "snapshot parity: key '" + key + "' read in " + owner +
+                            "::load_state but never written in save_state"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives
+// ---------------------------------------------------------------------------
+
+bool known_rule(const std::string& id) {
+  return std::any_of(rule_table().begin(), rule_table().end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+std::vector<Finding> apply_allows(const LexedFile& file, std::vector<Finding> findings) {
+  std::vector<Finding> kept;
+  for (Finding& f : findings) {
+    const bool suppressed =
+        std::any_of(file.allows.begin(), file.allows.end(), [&](const AllowDirective& a) {
+          if (a.rule_id != f.rule_id || a.reason.empty()) return false;
+          return a.line == f.line || (a.alone_on_line && a.line + 1 == f.line);
+        });
+    if (!suppressed) kept.push_back(std::move(f));
+  }
+  // Malformed directives are findings themselves: the acceptance bar is zero
+  // escapes without an inline reason.
+  for (const AllowDirective& a : file.allows) {
+    if (a.reason.empty())
+      kept.push_back({"DL000", file.path, a.line,
+                      "draglint:allow(" + a.rule_id + ") has no reason — escape hatches must "
+                      "say why, e.g. // draglint:allow(" + a.rule_id + " bit-replay check)"});
+    else if (!known_rule(a.rule_id))
+      kept.push_back({"DL000", file.path, a.line,
+                      "draglint:allow names unknown rule '" + a.rule_id + "'"});
+  }
+  return kept;
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> table = {
+      {"DL000", "allow-hygiene", "every draglint:allow() names a known rule and gives a reason"},
+      {"DL001", "no-ambient-entropy",
+       "no wall clocks or process RNG in src/ — randomness comes from seeded common::Rng "
+       "substreams, timestamps are slot indices"},
+      {"DL002", "ordered-output-iteration",
+       "no unordered_map/unordered_set iteration in files that write snapshot, trace, or "
+       "Prometheus exposition output"},
+      {"DL003", "single-throw-type", "every throw in src/ throws dragster::Error"},
+      {"DL004", "no-float-equality",
+       "no floating-point == / != in src/ outside allowlisted bit-replay checks"},
+      {"DL005", "snapshot-parity",
+       "every key written by save_state() is read by load_state(), and vice versa"},
+  };
+  return table;
+}
+
+std::vector<Finding> scan_file(const LexedFile& file, bool library_scope) {
+  std::vector<Finding> findings;
+  if (library_scope) {
+    rule_entropy(file, &findings);
+    rule_throw(file, &findings);
+    rule_float_eq(file, &findings);
+    rule_snapshot_parity(file, &findings);
+  }
+  rule_unordered(file, &findings);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+    return a.message < b.message;
+  });
+  // One line can trip the same rule twice (e.g. `.begin()` and `.end()` in a
+  // single loop header) — report it once.
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.line == b.line && a.rule_id == b.rule_id &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return apply_allows(file, std::move(findings));
+}
+
+}  // namespace draglint

@@ -1,0 +1,45 @@
+// The determinism-contract rules draglint enforces.
+//
+// Each rule has a stable machine-readable ID (used in CI output, in the
+// `// draglint:allow(ID reason)` escape hatch, and in DESIGN.md §12):
+//
+//   DL000  meta: an allow directive with no reason, or naming no known rule
+//   DL001  ambient entropy: wall clocks / process RNG in library code
+//   DL002  unordered-container iteration in a deterministic-output file
+//   DL003  throw of anything other than dragster::Error in library code
+//   DL004  floating-point == / != in library code
+//   DL005  snapshot field parity between save_state() and load_state()
+//
+// DL001/DL003/DL004/DL005 are library-scoped: they fire for files under
+// src/ (or everywhere under --assume-src, which the corpus tests use).
+// DL002 fires everywhere — bench/example binaries write traces too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace draglint {
+
+struct Finding {
+  std::string rule_id;
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* name;
+  const char* summary;
+};
+
+/// The rule table, in ID order (for --rules and the docs).
+[[nodiscard]] const std::vector<RuleInfo>& rule_table();
+
+/// Runs every applicable rule over one lexed file and applies the allow
+/// directives.  `library_scope` enables the src/-only rules.
+[[nodiscard]] std::vector<Finding> scan_file(const LexedFile& file, bool library_scope);
+
+}  // namespace draglint
