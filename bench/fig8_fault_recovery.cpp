@@ -9,7 +9,7 @@
 // invocation prints byte-identical output every time.
 //
 //   ./fig8_fault_recovery [--slots 60] [--seed 17] [--faults <spec>]
-//                         [--csv fig8.csv]
+//                         [--csv fig8.csv] [--json BENCH_fig8.json]
 //                         [--trace-jsonl run.jsonl] [--metrics metrics.prom]
 #include <fstream>
 
@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{17}));
   const std::string spec_text = flags.get("faults", std::string(kCanonicalPlan));
   const std::string csv_path = flags.get("csv", std::string(""));
+  const std::string json_path = flags.get("json", std::string(""));
   bench::Observability obs(flags);
 
   bench::print_header("Figure 8: fault recovery on WordCount", seed);
@@ -97,6 +98,38 @@ int main(int argc, char** argv) {
       ok = ok && recovery.slots_to_recover.has_value() && *recovery.slots_to_recover <= 5;
     std::printf("\n%s recovery within 5 slots of every fault: %s\n", run.controller.c_str(),
                 ok ? "PASS" : "FAIL");
+  }
+
+  if (!json_path.empty()) {
+    // Simulated quantities only, so same-seed invocations emit byte-identical
+    // JSON — the shape the baseline schema gate under bench/baselines/ pins.
+    std::ofstream out(json_path);
+    out << "{\n  \"bench\": \"fig8_fault_recovery\",\n";
+    out << "  \"slots\": " << slots << ",\n  \"seed\": " << seed << ",\n";
+    out << "  \"fault_plan\": \"" << plan.to_string() << "\",\n";
+    out << "  \"schemes\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& run = runs[i];
+      double lost = 0.0;
+      for (const auto& recovery : run.recoveries) lost += recovery.tuples_lost;
+      out << "    {\"scheme\": \"" << run.controller
+          << "\", \"total_tuples\": " << run.total_tuples
+          << ", \"total_cost\": " << run.total_cost << ", \"tuples_lost\": " << lost
+          << ", \"recoveries\": [";
+      for (std::size_t r = 0; r < run.recoveries.size(); ++r) {
+        const auto& recovery = run.recoveries[r];
+        out << (r ? ", " : "") << "{\"fault\": \"" << recovery.fault.event.to_string()
+            << "\", \"pre_fault_ratio\": " << recovery.pre_fault_ratio
+            << ", \"slots_to_recover\": "
+            << (recovery.slots_to_recover
+                    ? std::to_string(*recovery.slots_to_recover)
+                    : std::string("null"))
+            << ", \"tuples_lost\": " << recovery.tuples_lost << "}";
+      }
+      out << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("recovery summary written to %s\n", json_path.c_str());
   }
 
   if (!csv_path.empty()) {

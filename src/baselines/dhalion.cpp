@@ -12,6 +12,7 @@ void DhalionController::on_slot(const streamsim::JobMonitor& monitor,
   int total_tasks = 0;
   for (dag::NodeId id : dag.operators()) total_tasks += monitor.tasks(id);
   const auto cap = options_.budget.max_total_tasks();
+  frozen_ = false;
 
   // Resolution 1: relieve backpressure — first backpressured operator in
   // topological order gains one task.
@@ -20,8 +21,10 @@ void DhalionController::on_slot(const streamsim::JobMonitor& monitor,
     if (!report.per_node[id].backpressured) continue;
     const int tasks = monitor.tasks(id);
     if (tasks >= monitor.max_tasks()) continue;  // per-operator ceiling
-    if (options_.budget.limited() && static_cast<std::size_t>(total_tasks + 1) > cap)
+    if (options_.budget.limited() && static_cast<std::size_t>(total_tasks + 1) > cap) {
+      frozen_ = true;
       return;  // budget exhausted: Dhalion freezes
+    }
     actuator.set_tasks(id, tasks + 1);
     return;  // one action per slot
   }

@@ -36,8 +36,14 @@ class DhalionController final : public core::Controller {
   void on_slot(const streamsim::JobMonitor& monitor,
                streamsim::ScalingActuator& actuator) override;
 
+  void set_budget(const online::Budget& budget) override { options_.budget = budget; }
+  /// Binary pressure proxy: 1 while the last slot froze a backpressure
+  /// scale-up for lack of budget, else 0.
+  [[nodiscard]] double budget_pressure() const override { return frozen_ ? 1.0 : 0.0; }
+
  private:
   DhalionOptions options_;
+  bool frozen_ = false;
 };
 
 }  // namespace dragster::baselines

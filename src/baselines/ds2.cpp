@@ -32,7 +32,16 @@ void Ds2Controller::on_slot(const streamsim::JobMonitor& monitor,
     desired.push_back(want);
   }
 
-  if (options_.budget.limited()) desired = options_.budget.project(std::move(desired));
+  pressure_ = 0.0;
+  if (options_.budget.limited()) {
+    int wanted = 0;
+    for (int tasks : desired) wanted += tasks;
+    const auto cap = options_.budget.max_total_tasks();
+    if (cap > 0 && static_cast<std::size_t>(wanted) > cap)
+      pressure_ = static_cast<double>(static_cast<std::size_t>(wanted) - cap) /
+                  static_cast<double>(cap);
+    desired = options_.budget.project(std::move(desired));
+  }
 
   for (std::size_t i = 0; i < ids.size(); ++i) {
     if (desired[i] != monitor.tasks(ids[i])) actuator.set_tasks(ids[i], desired[i]);

@@ -28,8 +28,14 @@ class Ds2Controller final : public core::Controller {
   void on_slot(const streamsim::JobMonitor& monitor,
                streamsim::ScalingActuator& actuator) override;
 
+  void set_budget(const online::Budget& budget) override { options_.budget = budget; }
+  /// Coarse pressure proxy: how far the last unprojected demand-proportional
+  /// plan exceeded what the budget could buy, relative to the cap.
+  [[nodiscard]] double budget_pressure() const override { return pressure_; }
+
  private:
   Ds2Options options_;
+  double pressure_ = 0.0;
 };
 
 }  // namespace dragster::baselines

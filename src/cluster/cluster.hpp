@@ -24,6 +24,8 @@ struct Deployment {
   /// Pending pods count against the admission cap but do not bill: the cloud
   /// charges for scheduled capacity, and capacity follows `replicas`.
   int pending = 0;
+  /// Owning job for multi-tenant attribution; empty for single-job clusters.
+  std::string job;
 };
 
 /// Cluster-wide admission caps checked before new pods are scheduled.
@@ -39,7 +41,10 @@ class Cluster {
   explicit Cluster(PricingModel pricing = PricingModel::standard());
 
   /// Registers a deployment (one per operator).  Names must be unique.
-  void add_deployment(const std::string& name, int replicas, PodSpec spec = {});
+  /// `job` attributes the deployment to a tenant; empty means unowned
+  /// (single-job clusters never need to care).
+  void add_deployment(const std::string& name, int replicas, PodSpec spec = {},
+                      const std::string& job = {});
 
   /// Horizontal scaling (HPA analogue).  Replicas must be >= 1.
   void scale_replicas(const std::string& name, int replicas);
@@ -67,6 +72,32 @@ class Cluster {
   /// spend-rate cap.  Pure check; nothing is reserved.
   [[nodiscard]] bool try_admit(int extra_pods, double extra_cost_rate) const noexcept;
 
+  // -- multi-tenant attribution ---------------------------------------------
+  //
+  // The single-argument try_admit above charges every pending pod in the
+  // cluster against the caller — correct for one job, wrong for many: job A's
+  // pending rescale would silently eat job B's admission headroom.  The
+  // job-scoped overload charges each job only for its own running + pending
+  // pods against its quota, while the global limits still see the aggregate.
+
+  /// Per-job admission quota (same zero-means-unlimited convention).
+  void set_job_quota(const std::string& job, AdmissionLimits quota);
+  [[nodiscard]] AdmissionLimits job_quota(const std::string& job) const;
+
+  /// Job-scoped admission check: `extra_pods`/`extra_cost_rate` on behalf of
+  /// `job` must clear the job's own quota (counting only that job's pods)
+  /// AND the cluster-wide limits (counting everyone's).
+  [[nodiscard]] bool try_admit(const std::string& job, int extra_pods,
+                               double extra_cost_rate) const noexcept;
+
+  [[nodiscard]] int job_pods(const std::string& job) const noexcept;
+  [[nodiscard]] int job_pending(const std::string& job) const noexcept;
+  [[nodiscard]] double job_cost_rate_per_hour(const std::string& job) const noexcept;
+
+  /// Removes every deployment owned by `job` (eviction).  Returns the number
+  /// of deployments removed; the job's quota entry is dropped too.
+  std::size_t remove_job(const std::string& job);
+
   /// Records how many requested pods of a deployment are still Pending.
   void set_pending(const std::string& name, int pending);
   [[nodiscard]] int pending_pods(const std::string& name) const;
@@ -88,6 +119,7 @@ class Cluster {
 
   PricingModel pricing_;
   std::map<std::string, Deployment> deployments_;
+  std::map<std::string, AdmissionLimits> quotas_;
   AdmissionLimits limits_;
   bool admission_outage_ = false;
   double accrued_cost_ = 0.0;

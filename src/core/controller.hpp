@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "online/budget.hpp"
 #include "streamsim/engine.hpp"
 
 namespace dragster::obs {
@@ -38,6 +39,17 @@ class Controller {
   /// Called after every completed slot with fresh metrics.
   virtual void on_slot(const streamsim::JobMonitor& monitor,
                        streamsim::ScalingActuator& actuator) = 0;
+
+  /// Replaces the controller's budget mid-run — the fleet arbiter's seam.
+  /// Controllers without a budget notion ignore it.  Takes effect at the
+  /// next on_slot; the controller's internal state is otherwise untouched.
+  virtual void set_budget(const online::Budget& budget) { (void)budget; }
+
+  /// How hard the controller is pressing against its budget, for fleet-level
+  /// arbitration.  Dragster reports its mean dual variable (the shadow price
+  /// of one more task-slot); baselines report a coarse proxy.  Zero means
+  /// "not constrained"; larger means "would buy more capacity at the margin".
+  [[nodiscard]] virtual double budget_pressure() const { return 0.0; }
 };
 
 }  // namespace dragster::core

@@ -59,6 +59,15 @@ const std::vector<double>& DragsterController::lambda() const {
   return dual_->lambda();
 }
 
+double DragsterController::budget_pressure() const {
+  if (dual_ == nullptr) return 0.0;  // pre-initialize: no constraint observed yet
+  const std::vector<double>& lambda = dual_->lambda();
+  if (lambda.empty()) return 0.0;
+  double sum = 0.0;
+  for (double value : lambda) sum += value;
+  return sum / static_cast<double>(lambda.size());
+}
+
 const gp::GaussianProcess* DragsterController::gp_for(dag::NodeId op) const {
   const auto it = models_.find(op);
   if (it == models_.end() || !it->second.gp.has_value()) return nullptr;
@@ -475,9 +484,13 @@ void DragsterController::load_state(resilience::SnapshotReader& reader) {
   }
 
   reader.enter_section("budget");
-  DRAGSTER_REQUIRE(reader.get_double("dollars_per_hour") == options_.budget.dollars_per_hour() &&
-                       reader.get_double("pod_price") == options_.budget.pod_price(),
-                   "snapshot was taken under a different budget");
+  // The dollar cap may legitimately differ from the snapshot's: a fleet
+  // arbiter can move the budget between snapshot and restore, and the live
+  // options_ value (kept current by set_budget) stays authoritative.  Only
+  // the pod price — fixed for the lifetime of a run — must agree.
+  (void)reader.get_double("dollars_per_hour");
+  DRAGSTER_REQUIRE(reader.get_double("pod_price") == options_.budget.pod_price(),
+                   "snapshot was taken under a different pod price");
 
   reader.enter_section("dual");
   dual_->load_state(reader);

@@ -84,6 +84,13 @@ class DragsterController final : public Controller, public resilience::Snapshota
                streamsim::ScalingActuator& actuator) override;
   void set_observability(obs::Registry* registry) override { obs_ = registry; }
 
+  /// Fleet seam: swap the budget in place.  The dual state, GP posteriors,
+  /// and commanded configuration carry over; only the feasible set Pi_X that
+  /// select_configs projects onto changes from the next slot on.
+  void set_budget(const online::Budget& budget) override { options_.budget = budget; }
+  /// Mean dual multiplier — the shadow price the fleet arbiter water-fills on.
+  [[nodiscard]] double budget_pressure() const override;
+
   // -- crash recovery (src/resilience) ---------------------------------------
   /// Serializes every piece of learned state — per-operator GP observations
   /// and normalization scales, dual multipliers, throughput-learner weights,

@@ -8,143 +8,213 @@
 
 namespace dragster::experiments {
 
+ScenarioRunner::ScenarioRunner(streamsim::Engine& engine, core::Controller& controller,
+                               const ScenarioOptions& options, std::string workload_name,
+                               faults::FaultInjector* injector,
+                               actuation::ActuationManager* actuation, obs::Registry* obs)
+    : engine_(engine),
+      controller_(controller),
+      options_(options),
+      injector_(injector),
+      actuation_(actuation),
+      obs_(obs),
+      // With a manager the controller never touches the engine directly:
+      // every action goes through the epoch fence and the async pod
+      // lifecycle.
+      actuator_(actuation != nullptr ? static_cast<streamsim::ScalingActuator*>(actuation)
+                                     : static_cast<streamsim::ScalingActuator*>(&engine)),
+      supervised_(dynamic_cast<resilience::ControllerSupervisor*>(&controller)),
+      oracle_(engine) {
+  result_.controller = controller_.name();
+  result_.workload = std::move(workload_name);
+  operators_ = engine_.dag().operators();
+
+  // Attach telemetry for the duration of the run (detached in the dtor —
+  // the registry may outlive none of these components).
+  engine_.set_observability(obs_);
+  controller_.set_observability(obs_);
+  if (actuation_ != nullptr) actuation_->set_observability(obs_);
+
+  controller_.initialize(engine_.monitor(), *actuator_);
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  engine_.set_observability(nullptr);
+  controller_.set_observability(nullptr);
+  if (actuation_ != nullptr) actuation_->set_observability(nullptr);
+}
+
+void ScenarioRunner::set_budget(const online::Budget& budget) {
+  options_.budget = budget;
+  controller_.set_budget(budget);
+}
+
+void ScenarioRunner::enforce_budget() {
+  if (!options_.budget.limited()) return;
+  const long long cap = options_.budget.max_total_tasks();
+  std::vector<int> tasks(operators_.size());
+  long long total = 0;
+  for (std::size_t k = 0; k < operators_.size(); ++k) {
+    tasks[k] = engine_.tasks(operators_[k]);
+    total += tasks[k];
+  }
+  if (total <= cap) return;
+  // The platform preempts over-quota configurations the way a cluster kills
+  // pods over a shrunk quota: one task at a time off the most replicated
+  // operator (ties to the earlier operator), never below one task each.
+  // Healthy controllers project onto the budget themselves, so this only
+  // fires when the budget shrank under a controller that cannot react yet —
+  // a crash outage, a restore of a fatter snapshot, actuation lag.
+  while (total > cap) {
+    std::size_t victim = 0;
+    int most = 0;
+    for (std::size_t k = 0; k < operators_.size(); ++k)
+      if (tasks[k] > most) {
+        most = tasks[k];
+        victim = k;
+      }
+    if (most <= 1) break;  // floor reached: one task per operator stands
+    tasks[victim] -= 1;
+    total -= 1;
+  }
+  bool preempted = false;
+  for (std::size_t k = 0; k < operators_.size(); ++k)
+    if (tasks[k] != engine_.tasks(operators_[k])) {
+      actuator_->set_tasks(operators_[k], tasks[k]);
+      preempted = true;
+    }
+  if (preempted && obs_ != nullptr) {
+    obs_->counter("scenario_budget_preemptions_total",
+                  "Slots where the platform preempted tasks over the budget")
+        .inc();
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "budget_preemption", static_cast<std::uint64_t>(slot_))
+          .field("total_tasks", static_cast<std::int64_t>(total))
+          .field("cap", static_cast<std::int64_t>(cap));
+    }
+  }
+}
+
+double ScenarioRunner::oracle_for(double at_seconds) {
+  const auto& dag = engine_.dag();
+  std::vector<long long> key;
+  key.reserve(dag.sources().size() + 1);
+  for (dag::NodeId id : dag.sources())
+    key.push_back(static_cast<long long>(std::llround(engine_.offered_rate(id, at_seconds))));
+  key.push_back(options_.budget.limited()
+                    ? static_cast<long long>(options_.budget.max_total_tasks())
+                    : -1);
+  const auto it = oracle_cache_.find(key);
+  if (it != oracle_cache_.end()) return it->second;
+  const double value = oracle_.optimal_at(at_seconds, options_.budget).throughput;
+  oracle_cache_.emplace(std::move(key), value);
+  return value;
+}
+
+void ScenarioRunner::step() {
+  const std::size_t t = slot_++;
+  const streamsim::JobMonitor monitor = engine_.monitor();
+
+  const std::size_t faults_before = injector_ != nullptr ? injector_->applied().size() : 0;
+  if (injector_ != nullptr) injector_->before_slot(engine_, actuation_);
+  if (injector_ != nullptr && obs_ != nullptr) {
+    for (std::size_t k = faults_before; k < injector_->applied().size(); ++k) {
+      const faults::AppliedFault& fault = injector_->applied()[k];
+      obs_->counter("scenario_faults_total", "Fault events applied, by kind",
+                    {{"kind", faults::to_string(fault.event.kind)}})
+          .inc();
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "fault_injected", static_cast<std::uint64_t>(fault.slot))
+            .field("kind", faults::to_string(fault.event.kind))
+            .field("spec", fault.event.to_string());
+      }
+    }
+  }
+  enforce_budget();
+  if (actuation_ != nullptr) actuation_->begin_slot();
+  const streamsim::SlotReport& report = engine_.run_slot();
+  if (injector_ != nullptr && injector_->consume_controller_crash()) {
+    if (supervised_ != nullptr)
+      supervised_->inject_crash();
+    else
+      controller_.initialize(monitor, *actuator_);  // amnesiac restart
+  }
+  controller_.on_slot(monitor, *actuator_);
+  // Quota is also enforced on the way out: a controller that over-commands
+  // (typically a restore reapplying a snapshot taken under a fatter budget)
+  // is preempted synchronously, so the commanded configuration a ledger
+  // reads at slot end never exceeds the budget either.
+  enforce_budget();
+
+  SlotSummary summary;
+  summary.slot = t;
+  summary.start_seconds = report.start_seconds;
+  summary.throughput_rate = report.throughput_rate;
+  summary.effective_rate =
+      report.tuples_processed / std::max(1.0, report.duration_s - report.pause_s);
+  summary.tuples = report.tuples_processed;
+  summary.cost = report.cost;
+  summary.cost_rate = report.cost_rate_per_hour;
+  summary.pause_s = report.pause_s;
+  summary.latency_s = report.latency_estimate_s;
+  summary.tasks.reserve(operators_.size());
+  for (dag::NodeId id : operators_) summary.tasks.push_back(report.per_node[id].tasks);
+  // Score against the optimum for the load in force at mid-slot (robust to
+  // a rate flip at the slot boundary).
+  summary.oracle_throughput = oracle_for(report.start_seconds + 0.5 * report.duration_s);
+  summary.near_optimal =
+      summary.effective_rate >= options_.near_optimal_threshold * summary.oracle_throughput;
+  summary.checkpoint_retries = report.checkpoint_retries;
+  summary.checkpoint_aborted = report.checkpoint_aborted;
+  for (dag::NodeId id : operators_)
+    summary.fault_active = summary.fault_active || report.per_node[id].fault_tainted ||
+                           report.per_node[id].metrics_stale;
+
+  if (obs_ != nullptr) {
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "scenario_slot", static_cast<std::uint64_t>(t))
+          .field("throughput", summary.throughput_rate)
+          .field("effective", summary.effective_rate)
+          .field("cost", summary.cost)
+          .field("oracle", summary.oracle_throughput)
+          .field("near_optimal", summary.near_optimal)
+          .field("fault_active", summary.fault_active);
+    }
+  }
+
+  result_.total_tuples += summary.tuples;
+  result_.total_cost += summary.cost;
+  result_.slots.push_back(std::move(summary));
+  result_.series.insert(result_.series.end(), report.throughput_series.begin(),
+                        report.throughput_series.end());
+}
+
+RunResult ScenarioRunner::finish() {
+  // Recovery analytics: score each applied fault against the same
+  // oracle-normalized throughput the convergence analytics use.  Full-slot
+  // throughput (not pause-excluded) so checkpoint retries show up as loss.
+  if (injector_ != nullptr) {
+    result_.fault_timeline = injector_->applied();
+    std::vector<faults::RecoverySlotData> series;
+    series.reserve(result_.slots.size());
+    for (const SlotSummary& slot : result_.slots)
+      series.push_back({slot.throughput_rate, slot.oracle_throughput});
+    result_.recoveries = faults::analyze_recovery(result_.fault_timeline, series,
+                                                  engine_.options().slot_duration_s,
+                                                  options_.recovery);
+  }
+  if (supervised_ != nullptr) result_.supervisor = supervised_->stats();
+  if (actuation_ != nullptr) result_.actuation = actuation_->operator_stats();
+  return std::move(result_);
+}
+
 RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                        const ScenarioOptions& options, const std::string& workload_name,
                        faults::FaultInjector* injector,
                        actuation::ActuationManager* actuation, obs::Registry* obs) {
-  RunResult result;
-  result.controller = controller.name();
-  result.workload = workload_name;
-
-  // Attach telemetry for the duration of the run (and detach on every exit
-  // path — the registry may outlive none of these components).
-  engine.set_observability(obs);
-  controller.set_observability(obs);
-  if (actuation != nullptr) actuation->set_observability(obs);
-  struct ObsGuard {
-    streamsim::Engine* engine;
-    core::Controller* controller;
-    actuation::ActuationManager* actuation;
-    ~ObsGuard() {
-      engine->set_observability(nullptr);
-      controller->set_observability(nullptr);
-      if (actuation != nullptr) actuation->set_observability(nullptr);
-    }
-  } obs_guard{&engine, &controller, actuation};
-
-  // With a manager the controller never touches the engine directly: every
-  // action goes through the epoch fence and the async pod lifecycle.
-  streamsim::ScalingActuator& actuator =
-      actuation != nullptr ? static_cast<streamsim::ScalingActuator&>(*actuation)
-                           : static_cast<streamsim::ScalingActuator&>(engine);
-  const streamsim::JobMonitor monitor = engine.monitor();
-  controller.initialize(monitor, actuator);
-
-  const baselines::Oracle oracle(engine);
-  const auto& dag = engine.dag();
-  const auto operators = dag.operators();
-
-  // Oracle cache keyed by the (rounded) offered-rate vector.
-  std::map<std::vector<long long>, double> oracle_cache;
-  auto oracle_for = [&](double at_seconds) {
-    std::vector<long long> key;
-    key.reserve(dag.sources().size());
-    for (dag::NodeId id : dag.sources())
-      key.push_back(static_cast<long long>(std::llround(engine.offered_rate(id, at_seconds))));
-    const auto it = oracle_cache.find(key);
-    if (it != oracle_cache.end()) return it->second;
-    const double value = oracle.optimal_at(at_seconds, options.budget).throughput;
-    oracle_cache.emplace(std::move(key), value);
-    return value;
-  };
-
-  auto* supervised = dynamic_cast<resilience::ControllerSupervisor*>(&controller);
-
-  for (std::size_t t = 0; t < options.slots; ++t) {
-    const std::size_t faults_before = injector != nullptr ? injector->applied().size() : 0;
-    if (injector != nullptr) injector->before_slot(engine, actuation);
-    if (injector != nullptr && obs != nullptr) {
-      for (std::size_t k = faults_before; k < injector->applied().size(); ++k) {
-        const faults::AppliedFault& fault = injector->applied()[k];
-        obs->counter("scenario_faults_total", "Fault events applied, by kind",
-                     {{"kind", faults::to_string(fault.event.kind)}})
-            .inc();
-        if (obs::TraceSink* sink = obs->trace()) {
-          obs::Event(*sink, "fault_injected", static_cast<std::uint64_t>(fault.slot))
-              .field("kind", faults::to_string(fault.event.kind))
-              .field("spec", fault.event.to_string());
-        }
-      }
-    }
-    if (actuation != nullptr) actuation->begin_slot();
-    const streamsim::SlotReport& report = engine.run_slot();
-    if (injector != nullptr && injector->consume_controller_crash()) {
-      if (supervised != nullptr)
-        supervised->inject_crash();
-      else
-        controller.initialize(monitor, actuator);  // amnesiac restart
-    }
-    controller.on_slot(monitor, actuator);
-
-    SlotSummary summary;
-    summary.slot = t;
-    summary.start_seconds = report.start_seconds;
-    summary.throughput_rate = report.throughput_rate;
-    summary.effective_rate =
-        report.tuples_processed / std::max(1.0, report.duration_s - report.pause_s);
-    summary.tuples = report.tuples_processed;
-    summary.cost = report.cost;
-    summary.cost_rate = report.cost_rate_per_hour;
-    summary.pause_s = report.pause_s;
-    summary.latency_s = report.latency_estimate_s;
-    summary.tasks.reserve(operators.size());
-    for (dag::NodeId id : operators) summary.tasks.push_back(report.per_node[id].tasks);
-    // Score against the optimum for the load in force at mid-slot (robust to
-    // a rate flip at the slot boundary).
-    summary.oracle_throughput = oracle_for(report.start_seconds + 0.5 * report.duration_s);
-    summary.near_optimal =
-        summary.effective_rate >= options.near_optimal_threshold * summary.oracle_throughput;
-    summary.checkpoint_retries = report.checkpoint_retries;
-    summary.checkpoint_aborted = report.checkpoint_aborted;
-    for (dag::NodeId id : operators)
-      summary.fault_active = summary.fault_active || report.per_node[id].fault_tainted ||
-                             report.per_node[id].metrics_stale;
-
-    if (obs != nullptr) {
-      if (obs::TraceSink* sink = obs->trace()) {
-        obs::Event(*sink, "scenario_slot", static_cast<std::uint64_t>(t))
-            .field("throughput", summary.throughput_rate)
-            .field("effective", summary.effective_rate)
-            .field("cost", summary.cost)
-            .field("oracle", summary.oracle_throughput)
-            .field("near_optimal", summary.near_optimal)
-            .field("fault_active", summary.fault_active);
-      }
-    }
-
-    result.total_tuples += summary.tuples;
-    result.total_cost += summary.cost;
-    result.slots.push_back(std::move(summary));
-    result.series.insert(result.series.end(), report.throughput_series.begin(),
-                         report.throughput_series.end());
-  }
-
-  // Recovery analytics: score each applied fault against the same
-  // oracle-normalized throughput the convergence analytics use.  Full-slot
-  // throughput (not pause-excluded) so checkpoint retries show up as loss.
-  if (injector != nullptr) {
-    result.fault_timeline = injector->applied();
-    std::vector<faults::RecoverySlotData> series;
-    series.reserve(result.slots.size());
-    for (const SlotSummary& slot : result.slots)
-      series.push_back({slot.throughput_rate, slot.oracle_throughput});
-    result.recoveries = faults::analyze_recovery(result.fault_timeline, series,
-                                                 engine.options().slot_duration_s,
-                                                 options.recovery);
-  }
-  if (supervised != nullptr) result.supervisor = supervised->stats();
-  if (actuation != nullptr) result.actuation = actuation->operator_stats();
-  return result;
+  ScenarioRunner runner(engine, controller, options, workload_name, injector, actuation, obs);
+  for (std::size_t t = 0; t < options.slots; ++t) runner.step();
+  return runner.finish();
 }
 
 std::optional<std::size_t> convergence_slot(std::span<const SlotSummary> slots, std::size_t from,

@@ -70,6 +70,66 @@ struct ScenarioOptions {
   faults::RecoveryOptions recovery;      ///< scoring of injected faults
 };
 
+/// The per-slot scenario loop as a steppable object, so callers that
+/// interleave many jobs (the fleet scheduler) drive the *same* code path as
+/// run_scenario — one step() is exactly one iteration of its loop, finish()
+/// is exactly its epilogue.  Construction attaches observability and calls
+/// controller.initialize(); destruction detaches observability.
+class ScenarioRunner {
+ public:
+  ScenarioRunner(streamsim::Engine& engine, core::Controller& controller,
+                 const ScenarioOptions& options, std::string workload_name = "",
+                 faults::FaultInjector* injector = nullptr,
+                 actuation::ActuationManager* actuation = nullptr,
+                 obs::Registry* obs = nullptr);
+  ~ScenarioRunner();
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Runs one slot: injector -> actuation reconcile -> engine -> controller,
+  /// then scores the slot against the oracle and appends a SlotSummary.
+  void step();
+
+  /// Replaces the run's budget from the next step() on: oracle scoring,
+  /// near-optimal thresholds, and the controller's own projection all see
+  /// the new value (the fleet arbiter's per-slot seam).
+  void set_budget(const online::Budget& budget);
+
+  [[nodiscard]] std::size_t slots_run() const noexcept { return result_.slots.size(); }
+  [[nodiscard]] const RunResult& partial() const noexcept { return result_; }
+  [[nodiscard]] const ScenarioOptions& options() const noexcept { return options_; }
+
+  /// Recovery analytics + supervisor/actuation stats; returns the completed
+  /// result.  Call at most once, after the last step().
+  [[nodiscard]] RunResult finish();
+
+ private:
+  /// Platform-side quota enforcement, run before the engine's slot: if the
+  /// live configuration exceeds the (possibly just-shrunk) budget and the
+  /// controller has not reacted — crash outage, restored snapshot, actuation
+  /// lag — tasks are preempted deterministically down to the cap.
+  void enforce_budget();
+  [[nodiscard]] double oracle_for(double at_seconds);
+
+  streamsim::Engine& engine_;
+  core::Controller& controller_;
+  ScenarioOptions options_;
+  faults::FaultInjector* injector_;
+  actuation::ActuationManager* actuation_;
+  obs::Registry* obs_;
+  streamsim::ScalingActuator* actuator_;
+  resilience::ControllerSupervisor* supervised_;
+  baselines::Oracle oracle_;
+  std::vector<dag::NodeId> operators_;
+  /// Keyed by the (rounded) offered-rate vector plus a budget fingerprint,
+  /// so a mid-run set_budget never serves an optimum computed under the old
+  /// cap.  For fixed-budget runs the suffix is constant — same hit pattern
+  /// (and bit-identical results) as the pre-fingerprint cache.
+  std::map<std::vector<long long>, double> oracle_cache_;
+  RunResult result_;
+  std::size_t slot_ = 0;
+};
+
 /// Runs `controller` on `engine` for the configured number of slots.
 /// The oracle is re-evaluated whenever the offered load changes (cached per
 /// distinct rate vector).  With an `injector`, its fault plan is applied at

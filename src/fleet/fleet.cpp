@@ -1,0 +1,487 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "obs/trace.hpp"
+
+namespace dragster::fleet {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+    case JobState::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+/// One tenant's whole lower layer.  Members are declared so the runner (which
+/// borrows everything else) is destroyed first.
+struct FleetScheduler::Job {
+  JobSpec spec;
+  std::size_t index = 0;
+  JobState state = JobState::kQueued;
+  std::optional<std::size_t> admitted_slot;
+  std::optional<std::size_t> evicted_slot;
+  std::size_t slo_misses = 0;
+  double pressure = 0.0;  ///< smoothed dual / SLO-debt pressure signal
+  int delta = 0;          ///< pods transferred to (+) or from (-) this job,
+                          ///< relative to its static share — see arbitrate()
+  int grant = 0;          ///< pods granted by the arbiter this slot
+  int slack_slots = 0;    ///< consecutive comfortable slots (hysteresis)
+  double last_latency = 0.0;  ///< previous slot's latency (backlog-growth test)
+  double lat_2back = 0.0;     ///< latency two slots back (drain-trend window)
+  double lat_3back = 0.0;     ///< latency three slots back (drain-trend window)
+  bool comfy = false;       ///< last slot met the SLO with a quiet dual
+  bool distressed = false;  ///< SLO violated and the backlog is not draining
+  int donate_cooldown = 0;  ///< slots before this job may donate a pod again
+  int recent_peak = 0;      ///< max tasks deployed over the last three slots
+  int prev_tasks1 = 0;      ///< tasks one slot back (peak-window history)
+  int prev_tasks2 = 0;      ///< tasks two slots back (peak-window history)
+  double debt = 0.0;        ///< last slot's latency over the SLO target
+  bool fresh = false;     ///< admitted this slot; bundle not yet built
+
+  std::unique_ptr<streamsim::Engine> engine;
+  std::unique_ptr<core::Controller> controller;
+  std::unique_ptr<faults::FaultInjector> injector;
+  std::unique_ptr<actuation::ActuationManager> manager;
+  std::unique_ptr<experiments::ScenarioRunner> runner;  ///< destroyed first
+  experiments::RunResult result;  ///< captured when the runner is retired
+};
+
+std::uint64_t FleetScheduler::job_seed(std::uint64_t fleet_seed, std::size_t index) {
+  return common::Rng(fleet_seed)
+      .substream("fleet-job", static_cast<std::uint64_t>(index))
+      .next_u64();
+}
+
+online::Budget FleetScheduler::pods_budget(int pods, double pod_price_per_hour) {
+  DRAGSTER_REQUIRE(pods >= 1, "a pod budget needs at least one pod");
+  return online::Budget(static_cast<double>(pods) * pod_price_per_hour, pod_price_per_hour);
+}
+
+FleetScheduler::FleetScheduler(std::vector<JobSpec> specs, FleetOptions options,
+                               obs::Registry* obs)
+    : options_(options), arbiter_(options.arbiter), obs_(obs) {
+  DRAGSTER_REQUIRE(!specs.empty(), "a fleet needs at least one job");
+  DRAGSTER_REQUIRE(options_.pod_price_per_hour > 0.0, "pod price must be positive");
+  std::set<std::string> names;
+  jobs_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    JobSpec& spec = specs[i];
+    DRAGSTER_REQUIRE(!spec.name.empty(), "every fleet job needs a name");
+    DRAGSTER_REQUIRE(names.insert(spec.name).second, "duplicate job name: " + spec.name);
+    DRAGSTER_REQUIRE(spec.weight > 0.0, "job weight must be positive");
+    auto job = std::make_unique<Job>();
+    job->spec = std::move(spec);
+    job->index = i;
+    jobs_.push_back(std::move(job));
+  }
+  cluster_.set_admission_limits(options_.limits);
+}
+
+FleetScheduler::~FleetScheduler() = default;
+
+bool FleetScheduler::gate_allows(const Job& job) const {
+  // The gate reasons in floors, not live ledger actuals: any pods a running
+  // job holds above its floor are reclaimable at the next arbitration, which
+  // runs in this same slot right after admission.  Gating on actuals would
+  // deadlock late arrivals forever once incumbents expand into the surplus.
+  long long floors = job.spec.floor_pods();
+  for (const auto& other : jobs_)
+    if (other->state == JobState::kRunning) floors += other->spec.floor_pods();
+  if (options_.budget_pods > 0 && floors > options_.budget_pods) return false;
+  if (options_.limits.max_total_pods > 0 && floors > options_.limits.max_total_pods)
+    return false;
+  if (options_.limits.max_cost_rate_per_hour > 0.0 &&
+      static_cast<double>(floors) * options_.pod_price_per_hour >
+          options_.limits.max_cost_rate_per_hour * (1.0 + 1e-9))
+    return false;
+  return true;
+}
+
+FleetScheduler::Job* FleetScheduler::eviction_victim(double incoming_weight) {
+  Job* victim = nullptr;
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    if (job->spec.weight >= incoming_weight) continue;  // only strictly lower priority
+    // Lowest weight first; among equals the youngest (highest index) goes.
+    if (victim == nullptr || job->spec.weight < victim->spec.weight ||
+        (job->spec.weight <= victim->spec.weight && job->index > victim->index))
+      victim = job.get();
+  }
+  return victim;
+}
+
+void FleetScheduler::admit_phase() {
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kQueued || job->spec.arrival_slot > slot_) continue;
+    bool admitted = gate_allows(*job);
+    if (!admitted && options_.allow_eviction) {
+      if (Job* victim = eviction_victim(job->spec.weight)) {
+        destroy_bundle(*victim, JobState::kEvicted);
+        ++evictions_;
+        if (obs_ != nullptr) {
+          if (obs::TraceSink* sink = obs_->trace()) {
+            obs::Event(*sink, "fleet_eviction", static_cast<std::uint64_t>(slot_))
+                .field("job", victim->spec.name)
+                .field("for_job", job->spec.name);
+          }
+        }
+        admitted = gate_allows(*job);
+      }
+    }
+    if (!admitted) {
+      ++rejections_;
+      continue;
+    }
+    job->state = JobState::kRunning;
+    job->admitted_slot = slot_;
+    job->fresh = true;
+    ++admissions_;
+  }
+}
+
+void FleetScheduler::arbitrate() {
+  std::vector<JobDemand> demands;
+  std::vector<Job*> running;
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    JobDemand demand;
+    demand.weight = job->spec.weight;
+    demand.floor_pods = job->spec.floor_pods();
+    demand.cap_pods = job->spec.cap_pods();
+    demand.pressure = job->pressure;
+    demands.push_back(demand);
+    running.push_back(job.get());
+  }
+  if (options_.arbiter.mode != ArbiterMode::kStatic && options_.budget_pods > 0) {
+    // The pressure arm reasons in whole-pod deviations (delta_i) from the
+    // static share, so first compute what the blind split would hand out
+    // this slot.  Each job's target is share_i + delta_i; deltas only
+    // change by paired transfers — every +1 on a distressed job matches a
+    // -1 on a comfortable donor — so the targets always sum to the budget
+    // and the allocation cannot thrash: nothing moves without both a
+    // priced-up recipient (high smoothed dual / SLO debt) and a donor whose
+    // own signals say the pod is spare.  Donors rotate via a cooldown so a
+    // rescue is funded by the whole comfortable pool, one brief pod-slot
+    // each, instead of starving any single job.
+    ArbiterOptions blind = options_.arbiter;
+    blind.mode = ArbiterMode::kStatic;
+    const std::vector<int> share =
+        BudgetArbiter(blind).split(options_.budget_pods, demands);
+
+    // Transfer matching: recipients are distressed jobs, most pressured
+    // first; donors are stably comfortable jobs, least pressured first.
+    // A donor must also hold a *provably idle* pod: target - 1 must still
+    // cover its recent deployment peak.  "Comfortable at this level" alone
+    // does not prove the level has surplus — a job running exactly at its
+    // need sits at latency zero right up until one pod leaves, then
+    // diverges.  The peak is observable and honest because the controller
+    // duty-cycles up to whatever it actually needs within a few slots.
+    // Donors that were cut too deep anyway (delta < 0, debt climbing toward
+    // the SLO) reclaim ahead of any new rescue — returning a lent pod
+    // outranks lending more.  Each recipient moves at most one pod per
+    // slot, each donor gives at most one pod every other slot, and the
+    // peak guard re-evaluates on fresh usage before every donation, so the
+    // flow is fast fleet-wide yet gradual per job.
+    std::vector<std::size_t> reclaimers;
+    std::vector<std::size_t> recipients;
+    std::vector<std::size_t> donors;
+    for (std::size_t k = 0; k < running.size(); ++k) {
+      const Job& job = *running[k];
+      const int target = std::clamp(share[k] + job.delta, demands[k].floor_pods,
+                                    demands[k].cap_pods);
+      if (job.delta < 0 && job.debt > 0.6) {
+        reclaimers.push_back(k);
+        continue;
+      }
+      if (job.distressed && target < demands[k].cap_pods) recipients.push_back(k);
+      if (job.comfy && job.slack_slots >= 2 && job.donate_cooldown == 0 &&
+          target > demands[k].floor_pods && target - 1 >= job.recent_peak)
+        donors.push_back(k);
+    }
+    const auto more_pressured = [&](std::size_t a, std::size_t b) {
+      if (running[a]->pressure != running[b]->pressure)  // draglint:allow(DL004 exact ordering; ties fall through to the index)
+        return running[a]->pressure > running[b]->pressure;
+      return a < b;
+    };
+    std::sort(reclaimers.begin(), reclaimers.end(), more_pressured);
+    std::sort(recipients.begin(), recipients.end(), more_pressured);
+    recipients.insert(recipients.begin(), reclaimers.begin(), reclaimers.end());
+    std::sort(donors.begin(), donors.end(),
+              [&](std::size_t a, std::size_t b) { return more_pressured(b, a); });
+    // Released pods (deltas summing negative) float in the tier-2 pool;
+    // recipients absorb those first, then draw on live donors.
+    long long sum_delta = 0;
+    for (const Job* job : running) sum_delta += job->delta;
+    long long floating = sum_delta < 0 ? -sum_delta : 0;
+    std::size_t moves = recipients.size();
+    std::size_t di = 0;
+    for (std::size_t ri = 0; ri < recipients.size() && moves > 0; ++ri) {
+      const std::size_t r = recipients[ri];
+      if (floating > 0) {
+        running[r]->delta += 1;
+        --floating;
+        --moves;
+        continue;
+      }
+      while (di < donors.size() && donors[di] == r) ++di;
+      if (di >= donors.size()) break;
+      const std::size_t d = donors[di];
+      if (running[r]->pressure <= running[d]->pressure) break;
+      running[r]->delta += 1;
+      running[d]->delta -= 1;
+      running[d]->donate_cooldown = 1;
+      ++di;
+      --moves;
+    }
+
+    for (std::size_t k = 0; k < running.size(); ++k) {
+      demands[k].request_pods = std::clamp(share[k] + running[k]->delta,
+                                           demands[k].floor_pods, demands[k].cap_pods);
+      demands[k].held_pods = running[k]->grant;
+    }
+  }
+  const std::vector<int> grants = arbiter_.split(options_.budget_pods, demands);
+  for (std::size_t k = 0; k < running.size(); ++k) {
+    running[k]->grant = grants[k];
+    cluster_.set_job_quota(running[k]->spec.name, cluster::AdmissionLimits{grants[k], 0.0});
+  }
+}
+
+void FleetScheduler::construct_bundle(Job& job) {
+  const std::uint64_t seed = job_seed(options_.seed, job.index);
+  const online::Budget budget = options_.budget_pods > 0
+                                    ? pods_budget(job.grant, options_.pod_price_per_hour)
+                                    : online::Budget::unlimited(options_.pod_price_per_hour);
+  job.engine = std::make_unique<streamsim::Engine>(
+      job.spec.workload.make_engine(job.spec.high_rate, job.spec.engine, seed));
+  job.controller = make_job_controller(job.spec, budget);
+  if (!job.spec.fault_plan.empty())
+    job.injector =
+        std::make_unique<faults::FaultInjector>(faults::FaultPlan::parse(job.spec.fault_plan));
+  if (job.spec.managed)
+    job.manager =
+        std::make_unique<actuation::ActuationManager>(*job.engine, job.spec.actuation, seed);
+  experiments::ScenarioOptions scenario;
+  scenario.slots = options_.slots;
+  scenario.budget = budget;
+  job.runner = std::make_unique<experiments::ScenarioRunner>(
+      *job.engine, *job.controller, scenario, job.spec.workload.name, job.injector.get(),
+      job.manager.get(), obs_);
+  // Mirror the job's deployments into the shared ledger, job-attributed.
+  for (dag::NodeId op : job.engine->dag().operators()) {
+    const cluster::Deployment& d =
+        job.engine->cluster().deployment(job.engine->dag().component(op).name);
+    cluster_.add_deployment(job.spec.name + "/" + d.name, d.replicas, d.spec, job.spec.name);
+  }
+  job.fresh = false;
+}
+
+void FleetScheduler::destroy_bundle(Job& job, JobState final_state) {
+  if (job.runner != nullptr) {
+    job.result = job.runner->finish();
+    job.runner.reset();
+  }
+  job.manager.reset();
+  job.injector.reset();
+  job.controller.reset();
+  job.engine.reset();
+  cluster_.remove_job(job.spec.name);
+  job.state = final_state;
+  if (final_state == JobState::kEvicted) job.evicted_slot = slot_;
+}
+
+void FleetScheduler::sync_ledger(Job& job) {
+  for (dag::NodeId op : job.engine->dag().operators()) {
+    const cluster::Deployment& d =
+        job.engine->cluster().deployment(job.engine->dag().component(op).name);
+    const std::string mirror = job.spec.name + "/" + d.name;
+    cluster_.scale_replicas(mirror, d.replicas);
+    cluster_.resize_pods(mirror, d.spec);
+    cluster_.set_pending(mirror, d.pending);
+  }
+}
+
+void FleetScheduler::step() {
+  admit_phase();
+  arbitrate();
+
+  FleetSlot record;
+  record.slot = slot_;
+
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    if (obs_ != nullptr) obs_->set_scope(obs::Labels{{"job", job->spec.name}});
+    if (job->fresh)
+      construct_bundle(*job);
+    else
+      job->runner->set_budget(options_.budget_pods > 0
+                                  ? pods_budget(job->grant, options_.pod_price_per_hour)
+                                  : online::Budget::unlimited(options_.pod_price_per_hour));
+    job->runner->step();
+    if (obs_ != nullptr) obs_->set_scope(obs::Labels{});
+
+    const experiments::SlotSummary& last = job->runner->partial().slots.back();
+
+    // Pressure for the next arbitration: the controller's dual (the shadow
+    // price of one more task-slot) joined with the job's SLO debt (latency
+    // over target), whichever screams louder.  The dual alone decays to
+    // zero the moment a job keeps up, which would surrender exactly the
+    // pods that kept it afloat and thrash; the debt term makes a job near
+    // its latency edge hold its claim.  Rises are instant, decay is
+    // smoothed, so one good slot does not forfeit the grant.
+    const double dual = std::max(0.0, job->controller->budget_pressure());
+    const double debt = job->spec.slo.max_latency_s > 0.0
+                            ? last.latency_s / job->spec.slo.max_latency_s
+                            : 0.0;
+    const double fresh_pressure = std::max(dual, debt);
+    const double a = options_.arbiter.pressure_smoothing;
+    job->pressure =
+        std::max(fresh_pressure, (1.0 - a) * job->pressure + a * fresh_pressure);
+
+    // Signals for the next arbitration's transfer matching:
+    //   * distressed — the SLO is violated and the backlog is not shrinking
+    //     (latency not falling), so the current allocation structurally
+    //     cannot keep up.  A job merely draining a cold-start or fault
+    //     backlog never raises its hand — that separates transient distress
+    //     from true under-provisioning.  The first slots after admission
+    //     are warmup: the job starts on its floor deployment whatever its
+    //     true need, so distress there says nothing.
+    //   * comfy / slack_slots — latency comfortably under the SLO with at
+    //     most a modest dual (a healthy Dragster duty-cycles to save cost,
+    //     so its dual hovers slightly positive even with latency to spare —
+    //     requiring an exactly-quiet dual would empty the donor pool); the
+    //     streak length gates donation, so only stably satisfied jobs fund
+    //     rescues, and donor ordering still sends the least-pressured
+    //     donors first.
+    //   * delta decay — a rescued job hands its extra pods back one per
+    //     slot once stably comfortable, so rescue capacity returns to the
+    //     pool without the cliff that re-strands the job.
+    // Distress is judged against a three-slot latency baseline: a job whose
+    // backlog shrinks even slowly (a cold-start or post-fault drain) is on a
+    // path to recovery at its current allocation, and a rescue would only
+    // add rescale churn on top; a job whose latency is flat or rising over
+    // the window structurally cannot keep up and needs the pods.
+    const std::size_t slots_run = job->runner->partial().slots.size();
+    const double baseline = slots_run > 3   ? job->lat_3back
+                            : slots_run > 2 ? job->lat_2back
+                                            : job->last_latency;
+    const bool draining = last.latency_s < 0.95 * baseline ||
+                          last.latency_s < 0.95 * job->last_latency;
+    const bool warmed = slots_run > 1;
+    job->debt = debt;
+    job->distressed = warmed && debt > 1.0 && !draining;
+    job->comfy = debt < 0.8 && dual <= 0.05;
+    if (job->comfy) {
+      // Release one rescued pod per three comfortable slots — a gentle exit
+      // ramp; releasing every slot collapses the grant faster than the
+      // backlog re-forms and thrashes rescue -> release -> rescue.
+      if (++job->slack_slots % 3 == 0 && job->delta > 0) job->delta -= 1;
+    } else {
+      job->slack_slots = 0;
+    }
+    job->lat_3back = job->lat_2back;
+    job->lat_2back = job->last_latency;
+    job->last_latency = last.latency_s;
+    if (job->donate_cooldown > 0) job->donate_cooldown -= 1;
+    int tasks_now = 0;
+    for (int t : last.tasks) tasks_now += t;
+    job->recent_peak = std::max({tasks_now, job->prev_tasks1, job->prev_tasks2});
+    job->prev_tasks2 = job->prev_tasks1;
+    job->prev_tasks1 = tasks_now;
+
+    if (last.latency_s > job->spec.slo.max_latency_s) {
+      job->slo_misses += 1;
+      record.slo_misses += 1;
+    }
+    record.throughput += last.throughput_rate;
+    record.tuples += last.tuples;
+    record.granted_pods += job->grant;
+    record.running_jobs += 1;
+
+    sync_ledger(*job);
+  }
+  for (const auto& job : jobs_)
+    if (job->state == JobState::kQueued) record.queued_jobs += 1;
+
+  record.total_pods = cluster_.total_pods();
+  record.pending_pods = cluster_.total_pending();
+  record.spend_rate = cluster_.cost_rate_per_hour();
+  if (options_.limits.max_total_pods > 0 &&
+      record.total_pods + record.pending_pods > options_.limits.max_total_pods)
+    record.within_limits = false;
+  if (options_.limits.max_cost_rate_per_hour > 0.0 &&
+      record.spend_rate > options_.limits.max_cost_rate_per_hour * (1.0 + 1e-9))
+    record.within_limits = false;
+  limits_respected_ = limits_respected_ && record.within_limits;
+
+  if (obs_ != nullptr) {
+    obs_->gauge("fleet_total_pods", "Running pods across all jobs").set(record.total_pods);
+    obs_->gauge("fleet_pending_pods", "Pending pods across all jobs").set(record.pending_pods);
+    obs_->gauge("fleet_spend_rate_per_hour", "Aggregate $/hour").set(record.spend_rate);
+    obs_->gauge("fleet_running_jobs", "Jobs currently running")
+        .set(static_cast<double>(record.running_jobs));
+    obs_->gauge("fleet_queued_jobs", "Jobs waiting for admission")
+        .set(static_cast<double>(record.queued_jobs));
+    obs_->counter("fleet_slo_misses_total", "Job-slots whose latency exceeded the job SLO")
+        .inc(static_cast<double>(record.slo_misses));
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "fleet_slot", static_cast<std::uint64_t>(slot_))
+          .field("total_pods", record.total_pods)
+          .field("pending_pods", record.pending_pods)
+          .field("spend_rate", record.spend_rate)
+          .field("granted_pods", static_cast<std::int64_t>(record.granted_pods))
+          .field("throughput", record.throughput)
+          .field("slo_misses", static_cast<std::uint64_t>(record.slo_misses))
+          .field("running", static_cast<std::uint64_t>(record.running_jobs))
+          .field("queued", static_cast<std::uint64_t>(record.queued_jobs))
+          .field("within_limits", record.within_limits);
+    }
+  }
+
+  fleet_slots_.push_back(record);
+  ++slot_;
+}
+
+FleetResult FleetScheduler::finish() {
+  FleetResult result;
+  result.slots = std::move(fleet_slots_);
+  result.admissions = admissions_;
+  result.rejections = rejections_;
+  result.evictions = evictions_;
+  result.limits_respected = limits_respected_;
+  result.jobs.reserve(jobs_.size());
+  for (const auto& job : jobs_) {
+    if (job->state == JobState::kRunning) destroy_bundle(*job, JobState::kFinished);
+    JobOutcome outcome;
+    outcome.name = job->spec.name;
+    outcome.state = job->state;
+    outcome.admitted_slot = job->admitted_slot;
+    outcome.evicted_slot = job->evicted_slot;
+    outcome.slo_misses = job->slo_misses;
+    outcome.run = std::move(job->result);
+    outcome.slots_run = outcome.run.slots.size();
+    result.total_tuples += outcome.run.total_tuples;
+    result.total_cost += outcome.run.total_cost;
+    result.total_slo_misses += outcome.slo_misses;
+    result.jobs.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+FleetResult run_fleet(std::vector<JobSpec> specs, const FleetOptions& options,
+                      obs::Registry* obs) {
+  FleetScheduler scheduler(std::move(specs), options, obs);
+  for (std::size_t t = 0; t < options.slots; ++t) scheduler.step();
+  return scheduler.finish();
+}
+
+}  // namespace dragster::fleet

@@ -1,0 +1,123 @@
+// Fleet layer: N jobs, one cluster, one budget.
+//
+// The FleetScheduler is the upper layer of the two-layer framework: it owns N
+// independent jobs — each the familiar single-job bundle (Engine +
+// Controller [+ ControllerSupervisor] [+ ActuationManager] [+ FaultInjector]
+// driven through an experiments::ScenarioRunner) — and steps them
+// slot-by-slot in fixed job-index order against one shared cluster ledger.
+// Per slot:
+//
+//   1. admission — queued jobs whose arrival slot has come knock on the
+//      cluster-wide gate (cluster::Cluster::try_admit + the pod budget).
+//      Rejected jobs stay queued; optionally one strictly-lower-weight
+//      running job is evicted to make room (priority admission control).
+//   2. arbitration — the BudgetArbiter splits the global pod budget across
+//      running jobs online, guided by each controller's budget_pressure()
+//      (Dragster: the mean dual multiplier), and each job's runner gets its
+//      new online::Budget via set_budget().
+//   3. stepping — each running job advances one slot through the identical
+//      code path run_scenario uses; per-job obs scope labels every metric
+//      and trace event with job=<name>.
+//   4. accounting — the shared ledger is synced from every job engine, the
+//      slot's fleet aggregates (pods, spend, SLO misses, throughput) are
+//      recorded and published as fleet-level gauges / trace events.
+//
+// Determinism contract: jobs are stepped in spec-index order, every job's
+// engine is seeded from a counter-based substream of the fleet seed keyed on
+// the job index, and budget splitting is whole-pod integer arithmetic — so
+// same-seed fleet runs are byte-identical, and a 1-job fleet whose budget
+// covers the job is bit-identical to run_scenario (the fleet determinism
+// anchor; see test_fleet.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "fleet/budget_arbiter.hpp"
+#include "fleet/fleet_result.hpp"
+#include "fleet/job_spec.hpp"
+#include "obs/registry.hpp"
+
+namespace dragster::fleet {
+
+struct FleetOptions {
+  std::size_t slots = 30;
+  /// Global budget in whole pods shared by every job; <= 0 means unlimited.
+  /// Job i's dollar budget each slot is grant_i * pod_price_per_hour.
+  int budget_pods = 0;
+  double pod_price_per_hour = 0.10;
+  ArbiterOptions arbiter;
+  /// Cluster-wide admission gate on the shared ledger (0 = unlimited).
+  cluster::AdmissionLimits limits;
+  /// Allow admission to evict one strictly-lower-weight running job per
+  /// attempt when the gate is full.
+  bool allow_eviction = false;
+  std::uint64_t seed = 1;
+};
+
+class FleetScheduler {
+ public:
+  /// Specs keep their order for the whole run — index order IS the
+  /// deterministic job order.  Names must be unique and non-empty.
+  FleetScheduler(std::vector<JobSpec> specs, FleetOptions options,
+                 obs::Registry* obs = nullptr);
+  ~FleetScheduler();
+  FleetScheduler(const FleetScheduler&) = delete;
+  FleetScheduler& operator=(const FleetScheduler&) = delete;
+
+  /// One fleet slot: admission -> arbitration -> step every running job ->
+  /// ledger sync + fleet telemetry.
+  void step();
+
+  /// Finalizes every job's RunResult and returns the fleet analytics.  Call
+  /// at most once, after the last step().
+  [[nodiscard]] FleetResult finish();
+
+  [[nodiscard]] std::size_t slots_run() const noexcept { return slot_; }
+  /// The shared ledger (job-attributed deployments mirrored each slot).
+  [[nodiscard]] const cluster::Cluster& shared_cluster() const noexcept { return cluster_; }
+  [[nodiscard]] const FleetOptions& options() const noexcept { return options_; }
+
+  /// Counter-based per-job RNG substream: the engine seed of job `index` in
+  /// a fleet seeded `fleet_seed`.  Exposed so tests can rebuild a fleet
+  /// member's exact single-job twin.
+  [[nodiscard]] static std::uint64_t job_seed(std::uint64_t fleet_seed, std::size_t index);
+
+  /// Whole-pod grant -> dollar budget, the one conversion both the fleet and
+  /// its tests use (bitwise-identical budgets on both sides of the
+  /// 1-job-fleet == run_scenario anchor).
+  [[nodiscard]] static online::Budget pods_budget(int pods, double pod_price_per_hour);
+
+ private:
+  struct Job;
+
+  void admit_phase();
+  void arbitrate();
+  void construct_bundle(Job& job);
+  void destroy_bundle(Job& job, JobState final_state);
+  void sync_ledger(Job& job);
+  [[nodiscard]] bool gate_allows(const Job& job) const;
+  [[nodiscard]] Job* eviction_victim(double incoming_weight);
+
+  std::vector<std::unique_ptr<Job>> jobs_;  ///< spec order, stable for the run
+  FleetOptions options_;
+  BudgetArbiter arbiter_;
+  cluster::Cluster cluster_;  ///< shared ledger ("<job>/<op>" deployments)
+  obs::Registry* obs_;
+  std::vector<FleetSlot> fleet_slots_;
+  std::size_t slot_ = 0;
+  std::size_t admissions_ = 0;
+  std::size_t rejections_ = 0;
+  std::size_t evictions_ = 0;
+  bool limits_respected_ = true;
+};
+
+/// Mirrors experiments::run_scenario at fleet scale: construct, step
+/// `options.slots` times, finish.
+[[nodiscard]] FleetResult run_fleet(std::vector<JobSpec> specs, const FleetOptions& options,
+                                    obs::Registry* obs = nullptr);
+
+}  // namespace dragster::fleet

@@ -1,0 +1,66 @@
+// Result types for a fleet run: per-slot aggregates over the shared cluster
+// and per-job outcomes (including each admitted job's full RunResult, so
+// every single-job analytic — convergence, recovery, phase stats — applies
+// unchanged to fleet members).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/scenario.hpp"
+
+namespace dragster::fleet {
+
+enum class JobState {
+  kQueued,    ///< arrived but not admitted (gate full)
+  kRunning,
+  kFinished,  ///< ran through the fleet horizon
+  kEvicted,   ///< removed mid-run for a higher-weight arrival
+};
+
+[[nodiscard]] const char* to_string(JobState state);
+
+/// Fleet-level aggregates for one slot, read off the shared cluster ledger
+/// after every running job stepped.
+struct FleetSlot {
+  std::size_t slot = 0;
+  int total_pods = 0;        ///< running pods across all jobs
+  int pending_pods = 0;      ///< pending pods across all jobs
+  double spend_rate = 0.0;   ///< $/hour across all jobs
+  long long granted_pods = 0;  ///< sum of arbiter grants this slot
+  double throughput = 0.0;   ///< sum of job throughput rates, tuples/s
+  double tuples = 0.0;
+  std::size_t slo_misses = 0;   ///< jobs whose latency exceeded their SLO
+  std::size_t running_jobs = 0;
+  std::size_t queued_jobs = 0;
+  /// Cluster-wide AdmissionLimits held (pods and spend) at slot end.
+  bool within_limits = true;
+};
+
+struct JobOutcome {
+  std::string name;
+  JobState state = JobState::kQueued;
+  std::optional<std::size_t> admitted_slot;
+  std::optional<std::size_t> evicted_slot;
+  std::size_t slo_misses = 0;
+  std::size_t slots_run = 0;
+  /// Full single-job analytics; default-constructed if never admitted.
+  experiments::RunResult run;
+};
+
+struct FleetResult {
+  std::vector<JobOutcome> jobs;   ///< in spec order
+  std::vector<FleetSlot> slots;
+  double total_tuples = 0.0;
+  double total_cost = 0.0;
+  std::size_t total_slo_misses = 0;
+  std::size_t admissions = 0;
+  std::size_t rejections = 0;  ///< failed admission attempts (one per queued job per slot)
+  std::size_t evictions = 0;
+  /// Every slot stayed within the cluster-wide AdmissionLimits.
+  bool limits_respected = true;
+};
+
+}  // namespace dragster::fleet

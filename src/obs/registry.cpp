@@ -79,12 +79,35 @@ void Registry::claim_name(const std::string& name, char type, const std::string&
                    "metric '" + name + "' already registered with a different help string");
 }
 
+void Registry::set_scope(const Labels& scope) {
+  for (const auto& [key, value] : scope) {
+    (void)value;
+    DRAGSTER_REQUIRE(valid_label_name(key), "invalid scope label name '" + key + "'");
+  }
+  scope_ = scope;
+  if (trace_ != nullptr) apply_scope_to_trace();
+}
+
+Labels Registry::scoped(const Labels& labels) const {
+  if (scope_.empty()) return labels;
+  Labels merged = labels;
+  // Explicit labels win: a site that already says op="map" keeps it even if
+  // a (misguided) scope tries to override.
+  merged.insert(scope_.begin(), scope_.end());
+  return merged;
+}
+
+void Registry::apply_scope_to_trace() {
+  std::vector<std::pair<std::string, std::string>> fields(scope_.begin(), scope_.end());
+  trace_->set_scope(std::move(fields));
+}
+
 Counter& Registry::counter(const std::string& name, const std::string& help,
                            const Labels& labels) {
   claim_name(name, 'c', help);
   Family<Counter>& family = counters_[name];
   family.help = help;
-  std::unique_ptr<Counter>& child = family.children[serialize_labels(labels)];
+  std::unique_ptr<Counter>& child = family.children[serialize_labels(scoped(labels))];
   if (!child) child = std::make_unique<Counter>();
   return *child;
 }
@@ -93,7 +116,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help, const L
   claim_name(name, 'g', help);
   Family<Gauge>& family = gauges_[name];
   family.help = help;
-  std::unique_ptr<Gauge>& child = family.children[serialize_labels(labels)];
+  std::unique_ptr<Gauge>& child = family.children[serialize_labels(scoped(labels))];
   if (!child) child = std::make_unique<Gauge>();
   return *child;
 }
@@ -103,7 +126,7 @@ Histogram& Registry::histogram(const std::string& name, const std::string& help,
   claim_name(name, 'h', help);
   Family<Histogram>& family = histograms_[name];
   family.help = help;
-  const std::string key = serialize_labels(labels);
+  const std::string key = serialize_labels(scoped(labels));
   auto it = family.children.find(key);
   if (it == family.children.end()) {
     // Every child of one family shares the first-registered bounds — mixed

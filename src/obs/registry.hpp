@@ -95,8 +95,19 @@ class Registry {
 
   // -- trace plumbing -------------------------------------------------------
   /// The sink is borrowed, not owned; it must outlive the registry's users.
-  void set_trace(TraceSink* sink) noexcept { trace_ = sink; }
+  void set_trace(TraceSink* sink) noexcept {
+    trace_ = sink;
+    if (trace_ != nullptr) apply_scope_to_trace();
+  }
   [[nodiscard]] TraceSink* trace() const noexcept { return trace_; }
+
+  // -- scope labels (multi-tenant attribution) ------------------------------
+  /// Labels merged into every metric lookup and stamped onto every trace
+  /// event until the next set_scope (explicit labels win on collision).  The
+  /// fleet scheduler brackets each job's step with set_scope({{"job", name}})
+  /// / set_scope({}); the empty default leaves single-job output unchanged.
+  void set_scope(const Labels& scope);
+  [[nodiscard]] const Labels& scope() const noexcept { return scope_; }
 
  private:
   template <typename Metric>
@@ -106,7 +117,10 @@ class Registry {
   };
 
   void claim_name(const std::string& name, char type, const std::string& help);
+  [[nodiscard]] Labels scoped(const Labels& labels) const;
+  void apply_scope_to_trace();
 
+  Labels scope_;
   std::map<std::string, Family<Counter>> counters_;
   std::map<std::string, Family<Gauge>> gauges_;
   std::map<std::string, Family<Histogram>> histograms_;

@@ -72,6 +72,9 @@ Event::Event(TraceSink& sink, std::string_view type, std::uint64_t slot) : sink_
   append_json_escaped(line_, type);
   line_ += "\",\"slot\":";
   line_ += std::to_string(slot);
+  // Scope fields come right after the routing header so a reader can filter
+  // by tenant without parsing the event-specific payload.
+  for (const auto& [key, value] : sink.scope()) field(key, std::string_view(value));
 }
 
 Event::~Event() {

@@ -25,6 +25,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dragster::obs {
 
@@ -42,6 +44,20 @@ class TraceSink {
   virtual ~TraceSink() = default;
   /// `line` is one complete JSON object without the trailing newline.
   virtual void write(std::string_view line) = 0;
+
+  /// String fields every subsequent Event stamps right after "type"/"slot",
+  /// in the given (already sorted) order — multi-tenant attribution, e.g.
+  /// {{"job", "job-007"}}.  Empty (the default) adds nothing, so
+  /// single-tenant traces are byte-identical to the pre-scope format.
+  void set_scope(std::vector<std::pair<std::string, std::string>> scope) {
+    scope_ = std::move(scope);
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& scope() const noexcept {
+    return scope_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> scope_;
 };
 
 /// Accumulates the trace in memory — tests diff str() byte-for-byte.

@@ -150,6 +150,16 @@ class ControllerSupervisor final : public core::Controller {
     inner_->set_observability(registry);
   }
 
+  /// Forwards the new budget to the wrapped controller (and to the rule
+  /// fallback if one exists) and tightens the supervisor's own OverBudget
+  /// invariant to match.
+  void set_budget(const online::Budget& budget) override {
+    options_.budget = budget;
+    inner_->set_budget(budget);
+    if (fallback_ != nullptr) fallback_->set_budget(budget);
+  }
+  [[nodiscard]] double budget_pressure() const override { return inner_->budget_pressure(); }
+
   /// Kills the controller process at the start of the next on_slot() — the
   /// faults::FaultInjector's controller_crash lands here.
   void inject_crash() noexcept { crash_pending_ = true; }

@@ -68,6 +68,65 @@ TEST(Cluster, RejectsDuplicatesAndNegativeTime) {
   EXPECT_THROW(cluster.accrue(-1.0), std::invalid_argument);
 }
 
+TEST(Cluster, JobAttributionScopesPodsAndSpend) {
+  Cluster cluster;
+  cluster.add_deployment("a/map", 3, PodSpec{}, "a");
+  cluster.add_deployment("a/sink", 2, PodSpec{}, "a");
+  cluster.add_deployment("b/map", 4, PodSpec{}, "b");
+  EXPECT_EQ(cluster.job_pods("a"), 5);
+  EXPECT_EQ(cluster.job_pods("b"), 4);
+  EXPECT_EQ(cluster.total_pods(), 9);
+  cluster.set_pending("a/map", 2);
+  EXPECT_EQ(cluster.job_pending("a"), 2);
+  EXPECT_EQ(cluster.job_pending("b"), 0);
+  EXPECT_NEAR(cluster.job_cost_rate_per_hour("a"), 0.50, 1e-12);
+  EXPECT_NEAR(cluster.job_cost_rate_per_hour("b"), 0.40, 1e-12);
+}
+
+TEST(Cluster, PendingPodsOfOneJobDoNotConsumeAnothersQuota) {
+  // The multi-tenant regression: job A piles up pending pods; job B's
+  // *quota* headroom must be untouched by them.  (The global cap still sees
+  // the aggregate — that is the cluster-wide gate's whole point.)
+  Cluster cluster;
+  cluster.add_deployment("a/op", 2, PodSpec{}, "a");
+  cluster.add_deployment("b/op", 2, PodSpec{}, "b");
+  cluster.set_job_quota("a", AdmissionLimits{6, 0.0});
+  cluster.set_job_quota("b", AdmissionLimits{6, 0.0});
+  cluster.set_pending("a/op", 4);  // A is now at its quota (2 running + 4 pending)
+
+  EXPECT_FALSE(cluster.try_admit("a", 1, 0.0));  // A's own quota is full
+  EXPECT_TRUE(cluster.try_admit("b", 4, 0.0));   // B still has 4 pods of headroom
+  EXPECT_FALSE(cluster.try_admit("b", 5, 0.0));  // ...but not 5
+
+  // Under a global cap the aggregate (2+2 running + 4 pending = 8) binds all.
+  cluster.set_admission_limits(AdmissionLimits{10, 0.0});
+  EXPECT_TRUE(cluster.try_admit("b", 2, 0.0));
+  EXPECT_FALSE(cluster.try_admit("b", 3, 0.0));
+}
+
+TEST(Cluster, JobQuotaCostRateBinds) {
+  Cluster cluster;
+  cluster.add_deployment("a/op", 2, PodSpec{}, "a");  // $0.20/h
+  cluster.set_job_quota("a", AdmissionLimits{0, 0.30});
+  EXPECT_TRUE(cluster.try_admit("a", 1, 0.10));
+  EXPECT_FALSE(cluster.try_admit("a", 2, 0.20));
+  // A job without a quota passes the scoped check (global limits permitting).
+  EXPECT_TRUE(cluster.try_admit("ghost", 100, 10.0));
+}
+
+TEST(Cluster, RemoveJobEvictsAllItsDeployments) {
+  Cluster cluster;
+  cluster.add_deployment("a/map", 3, PodSpec{}, "a");
+  cluster.add_deployment("a/sink", 2, PodSpec{}, "a");
+  cluster.add_deployment("b/map", 1, PodSpec{}, "b");
+  cluster.set_job_quota("a", AdmissionLimits{8, 0.0});
+  EXPECT_EQ(cluster.remove_job("a"), 2u);
+  EXPECT_EQ(cluster.total_pods(), 1);
+  EXPECT_EQ(cluster.job_pods("a"), 0);
+  EXPECT_EQ(cluster.deployment_names().size(), 1u);
+  EXPECT_THROW(cluster.remove_job(""), std::invalid_argument);
+}
+
 TEST(MetricsServer, WindowedAverage) {
   MetricsServer metrics(3);
   metrics.record_cpu("op", 0.2);

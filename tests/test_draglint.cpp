@@ -85,6 +85,9 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       {"float_eq.cpp", 7, "DL004"},          // x == 0.0
       {"float_eq.cpp", 11, "DL004"},         // 1.5 != x
       {"float_eq.cpp", 15, "DL004"},         // double a == double b
+      {"fleet_trace.cpp", 27, "DL002"},      // unordered grants into TraceSink
+      {"fleet_trace.cpp", 32, "DL005"},      // arbiter delta saved, never read
+      {"fleet_trace.cpp", 37, "DL005"},      // cooldown read, never saved
       {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
       {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
       {"throw_type.cpp", 13, "DL003"},       // std::runtime_error

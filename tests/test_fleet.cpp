@@ -1,0 +1,293 @@
+// Fleet-layer tests: the determinism anchors (a 1-job fleet IS run_scenario,
+// same-seed fleets are byte-identical), budget conservation under admission
+// churn and chaos, and the admission-control state machine
+// (queue / reject / evict-lowest-priority).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <numeric>
+
+#include "core/dragster_controller.hpp"
+#include "fleet/budget_arbiter.hpp"
+#include "fleet/fleet.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace dragster {
+namespace {
+
+std::uint64_t bits(double value) { return std::bit_cast<std::uint64_t>(value); }
+
+/// Slot-by-slot bit equality of two runs (same oracle as test_determinism).
+void expect_identical(const experiments::RunResult& a, const experiments::RunResult& b) {
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(bits(a.slots[t].throughput_rate), bits(b.slots[t].throughput_rate));
+    EXPECT_EQ(bits(a.slots[t].tuples), bits(b.slots[t].tuples));
+    EXPECT_EQ(bits(a.slots[t].cost), bits(b.slots[t].cost));
+    EXPECT_EQ(bits(a.slots[t].latency_s), bits(b.slots[t].latency_s));
+    EXPECT_EQ(bits(a.slots[t].oracle_throughput), bits(b.slots[t].oracle_throughput));
+    EXPECT_EQ(a.slots[t].tasks, b.slots[t].tasks);
+  }
+  EXPECT_EQ(bits(a.total_tuples), bits(b.total_tuples));
+  EXPECT_EQ(bits(a.total_cost), bits(b.total_cost));
+}
+
+/// A mixed fleet cycling the Nexmark-style suite, alternating offered rates.
+std::vector<fleet::JobSpec> mixed_fleet(std::size_t n) {
+  const auto suite = workloads::nexmark_suite();
+  std::vector<fleet::JobSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fleet::JobSpec spec;
+    spec.name = "job-" + std::to_string(i);
+    spec.workload = suite[i % suite.size()];
+    spec.high_rate = i % 2 == 0;
+    spec.engine.slot_duration_s = 60.0;
+    spec.engine.sample_interval_s = 60.0;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(Fleet, OneJobFleetMatchesRunScenarioBitIdentical) {
+  // The fleet's lower layer is literally the single-job harness: a fleet of
+  // one whose budget the job fully receives must reproduce run_scenario on
+  // the twin engine to the bit — same seed derivation, same pod->dollar
+  // conversion, same per-slot code path.
+  const int budget_pods = 12;  // between the floor (2) and the cap (20)
+  fleet::FleetOptions options;
+  options.slots = 8;
+  options.budget_pods = budget_pods;
+  options.seed = 21;
+
+  fleet::JobSpec spec;
+  spec.name = "solo";
+  spec.workload = workloads::wordcount();
+  const fleet::FleetResult fleet = fleet::run_fleet({spec}, options);
+  ASSERT_EQ(fleet.jobs.size(), 1u);
+  EXPECT_EQ(fleet.jobs[0].state, fleet::JobState::kFinished);
+  EXPECT_EQ(fleet.jobs[0].slots_run, 8u);
+
+  // The twin: exactly what FleetScheduler::construct_bundle wires up.
+  const online::Budget budget =
+      fleet::FleetScheduler::pods_budget(budget_pods, options.pod_price_per_hour);
+  streamsim::Engine engine = spec.workload.make_engine(
+      true, spec.engine, fleet::FleetScheduler::job_seed(options.seed, 0));
+  core::DragsterOptions dopts;
+  dopts.budget = budget;
+  core::DragsterController controller(dopts);
+  experiments::ScenarioOptions scenario;
+  scenario.slots = 8;
+  scenario.budget = budget;
+  const experiments::RunResult twin =
+      experiments::run_scenario(engine, controller, scenario, spec.workload.name);
+
+  expect_identical(fleet.jobs[0].run, twin);
+}
+
+TEST(Fleet, OneJobFleetUnlimitedBudgetAlsoMatches) {
+  fleet::FleetOptions options;
+  options.slots = 6;
+  options.budget_pods = 0;  // unlimited
+  options.seed = 5;
+  fleet::JobSpec spec;
+  spec.name = "solo";
+  spec.workload = workloads::group();
+  const fleet::FleetResult fleet = fleet::run_fleet({spec}, options);
+
+  streamsim::Engine engine = spec.workload.make_engine(
+      true, spec.engine, fleet::FleetScheduler::job_seed(options.seed, 0));
+  core::DragsterOptions dopts;
+  dopts.budget = online::Budget::unlimited(options.pod_price_per_hour);
+  core::DragsterController controller(dopts);
+  experiments::ScenarioOptions scenario;
+  scenario.slots = 6;
+  scenario.budget = online::Budget::unlimited(options.pod_price_per_hour);
+  const experiments::RunResult twin =
+      experiments::run_scenario(engine, controller, scenario, spec.workload.name);
+
+  expect_identical(fleet.jobs[0].run, twin);
+}
+
+TEST(Fleet, SameSeedHundredJobFleetIsByteIdentical) {
+  // The fleet-scale determinism gate: two same-seed 100-job runs must agree
+  // on every aggregate to the bit and on the full JSONL trace (with per-job
+  // scope labels) to the byte.
+  auto run_once = [](obs::Registry& registry) {
+    fleet::FleetOptions options;
+    options.slots = 4;
+    options.budget_pods = 300;
+    options.limits.max_total_pods = 300;
+    options.seed = 33;
+    return fleet::run_fleet(mixed_fleet(100), options, &registry);
+  };
+  obs::Registry first_registry, second_registry;
+  obs::MemoryTraceSink first_sink, second_sink;
+  first_registry.set_trace(&first_sink);
+  second_registry.set_trace(&second_sink);
+  const fleet::FleetResult a = run_once(first_registry);
+  const fleet::FleetResult b = run_once(second_registry);
+
+  EXPECT_EQ(bits(a.total_tuples), bits(b.total_tuples));
+  EXPECT_EQ(bits(a.total_cost), bits(b.total_cost));
+  EXPECT_EQ(a.total_slo_misses, b.total_slo_misses);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(a.slots[t].total_pods, b.slots[t].total_pods);
+    EXPECT_EQ(a.slots[t].granted_pods, b.slots[t].granted_pods);
+    EXPECT_EQ(bits(a.slots[t].spend_rate), bits(b.slots[t].spend_rate));
+    EXPECT_EQ(bits(a.slots[t].throughput), bits(b.slots[t].throughput));
+  }
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) expect_identical(a.jobs[i].run, b.jobs[i].run);
+
+  ASSERT_GT(first_sink.lines(), 0u);
+  EXPECT_EQ(first_sink.str(), second_sink.str());
+  EXPECT_EQ(first_registry.expose(), second_registry.expose());
+  // The scope labels actually reached the trace.
+  EXPECT_NE(first_sink.str().find("\"job\":\"job-42\""), std::string::npos);
+}
+
+TEST(Fleet, BudgetConservationUnderChaosAndChurn) {
+  // Chaos-sweeper: staggered arrivals, mixed controllers, faults raining on
+  // some jobs, eviction enabled — and still, in every slot, the grants cover
+  // every running job's floor, sum to at most the budget, and the shared
+  // ledger never exceeds the cluster-wide limits.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::vector<fleet::JobSpec> specs = mixed_fleet(12);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      specs[i].arrival_slot = (i * 7) % 5;   // staggered waves of arrivals
+      specs[i].weight = 1.0 + static_cast<double>(i % 3);
+      if (i % 4 == 0) specs[i].controller = "DS2";
+      if (i % 4 == 2) {
+        specs[i].supervised = true;
+        specs[i].fault_plan = "ctrlcrash@3;ckptfail@5*2";
+      }
+      if (i % 3 == 1) {
+        const auto& dag = specs[i].workload.dag;
+        specs[i].fault_plan =
+            "crash@4:" + dag.component(dag.operators().front()).name;
+      }
+    }
+    long long floors = 0;
+    for (const auto& spec : specs) floors += spec.floor_pods();
+
+    fleet::FleetOptions options;
+    options.slots = 8;
+    options.budget_pods = static_cast<int>(floors) + 6;
+    options.limits.max_total_pods = options.budget_pods;
+    options.limits.max_cost_rate_per_hour =
+        static_cast<double>(options.budget_pods) * options.pod_price_per_hour;
+    options.allow_eviction = true;
+    options.seed = seed;
+    const fleet::FleetResult result = fleet::run_fleet(std::move(specs), options);
+
+    EXPECT_TRUE(result.limits_respected);
+    ASSERT_EQ(result.slots.size(), 8u);
+    for (const fleet::FleetSlot& slot : result.slots) {
+      SCOPED_TRACE("slot " + std::to_string(slot.slot));
+      EXPECT_TRUE(slot.within_limits);
+      EXPECT_LE(slot.granted_pods, static_cast<long long>(options.budget_pods));
+      EXPECT_GE(slot.granted_pods, static_cast<long long>(slot.running_jobs));
+      EXPECT_LE(slot.total_pods + slot.pending_pods, options.limits.max_total_pods);
+      EXPECT_LE(slot.spend_rate, options.limits.max_cost_rate_per_hour * (1.0 + 1e-9));
+    }
+    // Chaos actually happened: faults fired and at least one wave queued.
+    std::size_t faults = 0;
+    for (const auto& job : result.jobs) faults += job.run.fault_timeline.size();
+    EXPECT_GT(faults, 0u);
+    EXPECT_EQ(result.admissions, 12u);
+  }
+}
+
+TEST(Fleet, AdmissionQueuesRejectsAndEvictsByWeight) {
+  // Four jobs into a 4-pod gate (incumbent floors fill 3 of 4): the
+  // heavyweight late arrival evicts the lightest incumbent; the
+  // featherweight stays queued to the end.
+  std::vector<fleet::JobSpec> specs(4);
+  specs[0].name = "incumbent-light";
+  specs[0].workload = workloads::group();  // floor 1
+  specs[0].weight = 1.0;
+  specs[1].name = "incumbent-heavy";
+  specs[1].workload = workloads::window();  // floor 2
+  specs[1].weight = 3.0;
+  specs[2].name = "arrival-heavy";
+  specs[2].workload = workloads::window();  // floor 2: must evict to fit
+  specs[2].weight = 5.0;
+  specs[2].arrival_slot = 2;
+  specs[3].name = "arrival-feather";
+  specs[3].workload = workloads::group();
+  specs[3].weight = 0.5;  // lighter than everything running: never admitted
+  specs[3].arrival_slot = 3;
+  for (auto& spec : specs) {
+    spec.engine.slot_duration_s = 60.0;
+    spec.engine.sample_interval_s = 60.0;
+  }
+
+  fleet::FleetOptions options;
+  options.slots = 6;
+  options.budget_pods = 4;
+  options.limits.max_total_pods = 4;
+  options.allow_eviction = true;
+  options.seed = 11;
+  const fleet::FleetResult result = fleet::run_fleet(std::move(specs), options);
+
+  EXPECT_EQ(result.jobs[0].state, fleet::JobState::kEvicted);
+  ASSERT_TRUE(result.jobs[0].evicted_slot.has_value());
+  EXPECT_EQ(*result.jobs[0].evicted_slot, 2u);
+  EXPECT_GT(result.jobs[0].slots_run, 0u);  // its partial RunResult survives
+  EXPECT_EQ(result.jobs[1].state, fleet::JobState::kFinished);
+  EXPECT_EQ(result.jobs[2].state, fleet::JobState::kFinished);
+  ASSERT_TRUE(result.jobs[2].admitted_slot.has_value());
+  EXPECT_EQ(*result.jobs[2].admitted_slot, 2u);
+  EXPECT_EQ(result.jobs[3].state, fleet::JobState::kQueued);
+  EXPECT_FALSE(result.jobs[3].admitted_slot.has_value());
+  EXPECT_EQ(result.evictions, 1u);
+  EXPECT_GT(result.rejections, 0u);
+  EXPECT_TRUE(result.limits_respected);
+}
+
+TEST(Fleet, ArbiterSplitRespectsFloorsCapsAndBudget) {
+  fleet::BudgetArbiter arbiter{fleet::ArbiterOptions{}};
+  const std::vector<fleet::JobDemand> demands = {
+      {.weight = 1.0, .floor_pods = 1, .cap_pods = 10, .request_pods = 1, .pressure = 0.0},
+      {.weight = 1.0, .floor_pods = 2, .cap_pods = 4, .request_pods = 3, .pressure = 8.0},
+      {.weight = 2.0, .floor_pods = 1, .cap_pods = 10, .request_pods = 2, .pressure = 0.5},
+      {.weight = 1.0, .floor_pods = 3, .cap_pods = 3, .request_pods = 3, .pressure = 0.0}};
+  for (int budget : {7, 10, 15, 27, 100}) {
+    SCOPED_TRACE("budget " + std::to_string(budget));
+    const std::vector<int> grants = arbiter.split(budget, demands);
+    ASSERT_EQ(grants.size(), demands.size());
+    long long total = 0;
+    long long caps = 0;
+    for (std::size_t i = 0; i < grants.size(); ++i) {
+      EXPECT_GE(grants[i], demands[i].floor_pods);
+      EXPECT_LE(grants[i], demands[i].cap_pods);
+      total += grants[i];
+      caps += demands[i].cap_pods;
+    }
+    EXPECT_LE(total, budget);
+    EXPECT_EQ(total, std::min<long long>(budget, caps));  // no pod left behind
+    EXPECT_EQ(grants, arbiter.split(budget, demands));    // deterministic
+  }
+  // When the requested targets oversubscribe the budget, pressure decides
+  // who absorbs the shortfall: the job pricing its pods wins the tier-1
+  // contention over the quiet one.
+  fleet::ArbiterOptions pressure_opts;
+  pressure_opts.mode = fleet::ArbiterMode::kPressure;
+  fleet::BudgetArbiter pressured(pressure_opts);
+  const std::vector<fleet::JobDemand> two = {
+      {.weight = 1.0, .floor_pods = 1, .cap_pods = 10, .request_pods = 6, .pressure = 4.0},
+      {.weight = 1.0, .floor_pods = 1, .cap_pods = 10, .request_pods = 6, .pressure = 0.0}};
+  const std::vector<int> grants = pressured.split(8, two);
+  EXPECT_GT(grants[0], grants[1]);
+}
+
+}  // namespace
+}  // namespace dragster

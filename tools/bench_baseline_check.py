@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against its pinned baseline by schema.
+
+The baselines under bench/baselines/ pin the *shape* of each bench's JSON —
+the exact key set, nesting, and value kinds — not the numeric values, which
+legitimately move as the controllers evolve.  A run that drops a key, adds
+one silently, or changes a scalar into a list breaks every downstream
+consumer of the artifact, and that is what this gate catches.
+
+Usage: bench_baseline_check.py BASELINE FRESH [BASELINE FRESH ...]
+Exits non-zero listing every path whose schema diverged.
+"""
+import json
+import sys
+
+
+def kind(value):
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        # Optional fields (e.g. "slots_to_recover": null) may hold a number
+        # in one file and null in the other; treat null as number-compatible.
+        return "number"
+    return type(value).__name__
+
+
+def diff_schema(base, fresh, path, errors):
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(base.keys() - fresh.keys()):
+            errors.append(f"{path}.{key}: missing from fresh output")
+        for key in sorted(fresh.keys() - base.keys()):
+            errors.append(f"{path}.{key}: not in pinned baseline")
+        for key in sorted(base.keys() & fresh.keys()):
+            diff_schema(base[key], fresh[key], f"{path}.{key}", errors)
+    elif isinstance(base, list) and isinstance(fresh, list):
+        # Lists are homogeneous series; compare the first element's schema.
+        # Lengths differ whenever slot counts or sweep sizes do — that is a
+        # parameter choice, not a schema break.
+        if base and fresh:
+            diff_schema(base[0], fresh[0], f"{path}[0]", errors)
+        elif base and not fresh:
+            errors.append(f"{path}: series is empty in fresh output")
+    elif kind(base) != kind(fresh):
+        errors.append(f"{path}: {kind(base)} in baseline, {kind(fresh)} in fresh output")
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for baseline_path, fresh_path in zip(argv[0::2], argv[1::2]):
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        before = len(errors)
+        diff_schema(baseline, fresh, "$", errors)
+        verdict = "ok" if len(errors) == before else "SCHEMA DRIFT"
+        print(f"{fresh_path} vs {baseline_path}: {verdict}")
+    for error in errors:
+        print(f"  {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,48 @@
+// DL002/DL005 corpus, fleet flavor: the fleet layer emits per-slot trace
+// events (the TraceSink marker) and checkpoints its arbiter state.  Walking
+// an unordered per-job map while emitting events makes the event order — and
+// with it the trace byte stream — nondeterministic; a checkpoint whose save
+// and load disagree on the field set loses arbiter state across recovery.
+// This file is lint corpus only — it is never compiled or linked.
+#include <string>
+#include <unordered_map>
+
+namespace corpus {
+
+struct TraceSink {  // marker: this file writes deterministic trace output
+  void event(const std::string& name, double value);
+};
+
+struct SnapshotWriter {
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  double get_double(const std::string& key) const;
+};
+
+class FleetTracer {
+ public:
+  void emit(TraceSink& sink) const {
+    for (const auto& [job, grant] : grants_) {  // line 27: unordered range-for
+      sink.event(job, grant);
+    }
+  }
+
+  void save_state(SnapshotWriter& writer) const {  // line 32: delta never read
+    writer.field("slot", slot_);
+    writer.field("delta", delta_);
+  }
+
+  void load_state(SnapshotReader& reader) {  // line 37: cooldown never saved
+    slot_ = reader.get_double("slot");
+    delta_ = reader.get_double("cooldown");
+  }
+
+ private:
+  std::unordered_map<std::string, double> grants_;
+  double slot_ = 0.0;
+  double delta_ = 0.0;
+};
+
+}  // namespace corpus
