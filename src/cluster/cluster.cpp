@@ -10,7 +10,8 @@ void Cluster::add_deployment(const std::string& name, int replicas, PodSpec spec
                              const std::string& job) {
   DRAGSTER_REQUIRE(!deployments_.count(name), "duplicate deployment: " + name);
   DRAGSTER_REQUIRE(replicas >= 1, "deployment needs at least one replica");
-  deployments_[name] = Deployment{name, replicas, spec, 0, job};
+  Deployment& d = deployments_[name] = Deployment{name, replicas, spec, 0, job, {}};
+  reconcile_placement(d);
 }
 
 Deployment& Cluster::deployment_mutable(const std::string& name) {
@@ -21,7 +22,9 @@ Deployment& Cluster::deployment_mutable(const std::string& name) {
 
 void Cluster::scale_replicas(const std::string& name, int replicas) {
   DRAGSTER_REQUIRE(replicas >= 1, "deployment needs at least one replica");
-  deployment_mutable(name).replicas = replicas;
+  Deployment& d = deployment_mutable(name);
+  d.replicas = replicas;
+  reconcile_placement(d);
 }
 
 void Cluster::resize_pods(const std::string& name, PodSpec spec) {
@@ -123,6 +126,11 @@ std::size_t Cluster::remove_job(const std::string& job) {
   std::size_t removed = 0;
   for (auto it = deployments_.begin(); it != deployments_.end();) {
     if (it->second.job == job) {
+      // Eviction frees everything the job held in this same call: its node
+      // placements (freeing per-node slots) and — because the whole
+      // Deployment record goes, pending count included — its in-flight
+      // Pending pods stop counting against anyone's admission headroom.
+      release_placement(it->second);
       it = deployments_.erase(it);
       ++removed;
     } else {
@@ -149,6 +157,134 @@ int Cluster::total_pending() const noexcept {
     total += d.pending;
   }
   return total;
+}
+
+void Cluster::configure_nodes(int count, int pods_per_node) {
+  DRAGSTER_REQUIRE(nodes_.empty(), "configure_nodes may be called at most once");
+  DRAGSTER_REQUIRE(count >= 1, "a node pool needs at least one node");
+  DRAGSTER_REQUIRE(pods_per_node >= 1, "a node needs capacity for at least one pod");
+  nodes_.assign(static_cast<std::size_t>(count), Node{pods_per_node, 0, false, false});
+  for (auto& [name, d] : deployments_) {
+    (void)name;
+    reconcile_placement(d);
+  }
+}
+
+const Node& Cluster::node(int index) const {
+  DRAGSTER_REQUIRE(index >= 0 && index < node_count(), "node index out of range");
+  return nodes_[static_cast<std::size_t>(index)];
+}
+
+int Cluster::usable_capacity() const noexcept {
+  int capacity = 0;
+  for (const Node& n : nodes_)
+    if (!n.failed && !n.cordoned) capacity += n.capacity;
+  return capacity;
+}
+
+int Cluster::unscheduled_pods() const noexcept {
+  int total = 0;
+  for (const auto& [name, d] : deployments_) {
+    (void)name;
+    for (int node : d.placement)
+      if (node == kUnscheduled) ++total;
+  }
+  return total;
+}
+
+bool Cluster::nodes_within_capacity() const noexcept {
+  for (const Node& n : nodes_)
+    if (n.used > n.capacity) return false;
+  return true;
+}
+
+int Cluster::pick_node() const noexcept {
+  int best = kUnscheduled;
+  for (int k = 0; k < node_count(); ++k) {
+    const Node& n = nodes_[static_cast<std::size_t>(k)];
+    if (n.failed || n.cordoned || n.used >= n.capacity) continue;
+    if (best == kUnscheduled || n.used < nodes_[static_cast<std::size_t>(best)].used) best = k;
+  }
+  return best;
+}
+
+void Cluster::reconcile_placement(Deployment& d) {
+  if (nodes_.empty()) return;
+  const auto target = static_cast<std::size_t>(d.replicas);
+  // Shrink newest-placed-first: the LIFO order is deterministic and keeps
+  // long-lived pods (and therefore node loads) stable under duty-cycling.
+  while (d.placement.size() > target) {
+    const int node = d.placement.back();
+    d.placement.pop_back();
+    if (node != kUnscheduled) nodes_[static_cast<std::size_t>(node)].used -= 1;
+  }
+  while (d.placement.size() < target) {
+    const int node = pick_node();
+    if (node != kUnscheduled) nodes_[static_cast<std::size_t>(node)].used += 1;
+    d.placement.push_back(node);
+  }
+}
+
+void Cluster::release_placement(Deployment& d) {
+  for (int node : d.placement)
+    if (node != kUnscheduled) nodes_[static_cast<std::size_t>(node)].used -= 1;
+  d.placement.clear();
+}
+
+std::vector<NodeEviction> Cluster::strip_node(int index) {
+  std::vector<NodeEviction> evicted;
+  for (auto& [name, d] : deployments_) {
+    int lost = 0;
+    for (auto it = d.placement.begin(); it != d.placement.end();) {
+      if (*it == index) {
+        it = d.placement.erase(it);
+        ++lost;
+      } else {
+        ++it;
+      }
+    }
+    if (lost > 0) evicted.push_back(NodeEviction{name, d.job, lost});
+  }
+  nodes_[static_cast<std::size_t>(index)].used = 0;
+  return evicted;
+}
+
+std::vector<NodeEviction> Cluster::fail_node(int index) {
+  DRAGSTER_REQUIRE(index >= 0 && index < node_count(), "node index out of range");
+  Node& n = nodes_[static_cast<std::size_t>(index)];
+  DRAGSTER_REQUIRE(!n.failed, "node already failed");
+  n.failed = true;
+  return strip_node(index);
+}
+
+std::vector<NodeEviction> Cluster::drain_node(int index) {
+  DRAGSTER_REQUIRE(index >= 0 && index < node_count(), "node index out of range");
+  Node& n = nodes_[static_cast<std::size_t>(index)];
+  DRAGSTER_REQUIRE(!n.failed, "cannot drain a failed node");
+  DRAGSTER_REQUIRE(!n.cordoned, "node already cordoned");
+  n.cordoned = true;
+  return strip_node(index);
+}
+
+void Cluster::uncordon_node(int index) {
+  DRAGSTER_REQUIRE(index >= 0 && index < node_count(), "node index out of range");
+  Node& n = nodes_[static_cast<std::size_t>(index)];
+  DRAGSTER_REQUIRE(!n.failed, "cannot uncordon a failed node");
+  n.cordoned = false;
+}
+
+void Cluster::place_unscheduled() {
+  if (nodes_.empty()) return;
+  for (auto& [name, d] : deployments_) {
+    (void)name;
+    for (int& node : d.placement) {
+      if (node != kUnscheduled) continue;
+      const int fresh = pick_node();
+      if (fresh == kUnscheduled) return;  // still full; later pods fare no better
+      nodes_[static_cast<std::size_t>(fresh)].used += 1;
+      node = fresh;
+    }
+  }
 }
 
 double Cluster::cost_rate_per_hour() const noexcept {

@@ -13,6 +13,11 @@ double ratio_at(std::span<const RecoverySlotData> slots, std::size_t index) {
   return s.oracle_rate > 1e-9 ? s.achieved_rate / s.oracle_rate : 1.0;
 }
 
+double health_at(std::span<const FleetHealthSlot> slots, std::size_t index) {
+  const FleetHealthSlot& s = slots[index];
+  return s.active_jobs > 1e-9 ? s.healthy_jobs / s.active_jobs : 1.0;
+}
+
 }  // namespace
 
 std::vector<RecoveryStats> analyze_recovery(std::span<const AppliedFault> timeline,
@@ -53,6 +58,46 @@ std::vector<RecoveryStats> analyze_recovery(std::span<const AppliedFault> timeli
       }
       entry.tuples_lost +=
           std::max(0.0, entry.pre_fault_ratio - ratio) * slots[i].oracle_rate * slot_seconds;
+    }
+    stats.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+std::vector<FleetRecoveryStats> analyze_fleet_recovery(
+    std::span<const AppliedFleetFault> timeline, std::span<const FleetHealthSlot> slots,
+    const RecoveryOptions& options) {
+  DRAGSTER_REQUIRE(options.recovery_fraction > 0.0 && options.recovery_fraction <= 1.0,
+                   "recovery fraction must be in (0, 1]");
+
+  std::vector<FleetRecoveryStats> stats;
+  stats.reserve(timeline.size());
+  for (const AppliedFleetFault& fault : timeline) {
+    FleetRecoveryStats entry;
+    entry.fault = fault;
+    if (fault.slot >= slots.size()) {  // fired past the recorded horizon
+      stats.push_back(std::move(entry));
+      continue;
+    }
+
+    const std::size_t window = std::min<std::size_t>(options.baseline_slots, fault.slot);
+    if (window == 0) {
+      entry.pre_fault_level = 1.0;
+    } else {
+      double sum = 0.0;
+      for (std::size_t i = fault.slot - window; i < fault.slot; ++i) sum += health_at(slots, i);
+      entry.pre_fault_level = sum / static_cast<double>(window);
+    }
+
+    const double bar = options.recovery_fraction * entry.pre_fault_level;
+    for (std::size_t i = fault.slot; i < slots.size(); ++i) {
+      const double health = health_at(slots, i);
+      if (health >= bar) {
+        entry.slots_to_recover = i - fault.slot;
+        break;
+      }
+      entry.job_slots_lost +=
+          std::max(0.0, entry.pre_fault_level - health) * slots[i].active_jobs;
     }
     stats.push_back(std::move(entry));
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "faults/fault_injector.hpp"
+#include "faults/fleet_fault_plan.hpp"
 
 namespace dragster::faults {
 
@@ -42,5 +43,32 @@ struct RecoveryOptions {
 [[nodiscard]] std::vector<RecoveryStats> analyze_recovery(
     std::span<const AppliedFault> timeline, std::span<const RecoverySlotData> slots,
     double slot_seconds, const RecoveryOptions& options = {});
+
+// -- fleet-level extension ----------------------------------------------------
+//
+// The fleet analogue scores the same pre-fault-baseline / recovery-fraction
+// logic over a cluster-wide health series: per slot, how many jobs met
+// their SLO (`healthy_jobs`) out of how many should have been serving
+// (`active_jobs` — running plus brownout-parked, so a shed tenant counts as
+// unhealthy until it is restored).  The "ratio" is the healthy fraction,
+// and the cost unit is job-slots of lost health instead of tuples.
+
+struct FleetHealthSlot {
+  double healthy_jobs = 0.0;  ///< running jobs that met their SLO this slot
+  double active_jobs = 0.0;   ///< running + parked jobs (the serving demand)
+};
+
+struct FleetRecoveryStats {
+  AppliedFleetFault fault;
+  double pre_fault_level = 0.0;  ///< mean healthy fraction before the fault
+  /// Slots from the fault until the healthy fraction is back above
+  /// recovery_fraction * pre_fault_level; nullopt = never within the run.
+  std::optional<std::size_t> slots_to_recover;
+  double job_slots_lost = 0.0;   ///< integral of the health dip, in job-slots
+};
+
+[[nodiscard]] std::vector<FleetRecoveryStats> analyze_fleet_recovery(
+    std::span<const AppliedFleetFault> timeline, std::span<const FleetHealthSlot> slots,
+    const RecoveryOptions& options = {});
 
 }  // namespace dragster::faults

@@ -1,6 +1,7 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/error.hpp"
@@ -17,6 +18,7 @@ const char* to_string(JobState state) {
     case JobState::kRunning: return "running";
     case JobState::kFinished: return "finished";
     case JobState::kEvicted: return "evicted";
+    case JobState::kParked: return "parked";
   }
   return "unknown";
 }
@@ -46,6 +48,8 @@ struct FleetScheduler::Job {
   int prev_tasks2 = 0;      ///< tasks two slots back (peak-window history)
   double debt = 0.0;        ///< last slot's latency over the SLO target
   bool fresh = false;     ///< admitted this slot; bundle not yet built
+  std::size_t sheds = 0;     ///< brownout park count
+  std::size_t restores = 0;  ///< brownout restore count
 
   std::unique_ptr<streamsim::Engine> engine;
   std::unique_ptr<core::Controller> controller;
@@ -84,6 +88,43 @@ FleetScheduler::FleetScheduler(std::vector<JobSpec> specs, FleetOptions options,
     jobs_.push_back(std::move(job));
   }
   cluster_.set_admission_limits(options_.limits);
+  if (options_.node_count > 0)
+    cluster_.configure_nodes(options_.node_count, options_.node_capacity);
+  if (!options_.chaos.empty()) {
+    chaos_ = faults::FleetFaultPlan::parse(options_.chaos);
+    DRAGSTER_REQUIRE(!chaos_.touches_nodes() || cluster_.nodes_enabled(),
+                     "node chaos events need FleetOptions::node_count > 0");
+    for (const faults::FleetFaultEvent& event : chaos_.events()) {
+      if (event.kind != faults::FleetFaultKind::kJobCrash) continue;
+      bool known = false;
+      for (const auto& job : jobs_) known = known || job->spec.name == event.job;
+      DRAGSTER_REQUIRE(known, "jobcrash names unknown job '" + event.job + "'");
+    }
+  }
+  refresh_effective_budget();
+}
+
+bool FleetScheduler::chaos_active() const noexcept {
+  return cluster_.nodes_enabled() || !chaos_.empty();
+}
+
+void FleetScheduler::refresh_effective_budget() {
+  // A fault-free, node-free fleet must take the exact legacy path: the
+  // effective budget IS options_.budget_pods, limited iff it is positive.
+  int pods = options_.budget_pods;
+  bool limited = pods > 0;
+  for (const auto& [end, fraction] : cuts_) {
+    (void)end;
+    if (!limited) continue;  // a cut needs a finite budget to bite
+    pods = std::max(1, pods - static_cast<int>(std::ceil(fraction * pods)));
+  }
+  if (cluster_.nodes_enabled()) {
+    const int usable = cluster_.usable_capacity();
+    pods = limited ? std::min(pods, usable) : usable;
+    limited = true;
+  }
+  effective_budget_ = pods;
+  budget_limited_ = limited;
 }
 
 FleetScheduler::~FleetScheduler() = default;
@@ -93,10 +134,13 @@ bool FleetScheduler::gate_allows(const Job& job) const {
   // job holds above its floor are reclaimable at the next arbitration, which
   // runs in this same slot right after admission.  Gating on actuals would
   // deadlock late arrivals forever once incumbents expand into the surplus.
+  // Parked jobs count too: brownout shed them on a promise of restoration,
+  // and a new arrival must not quietly consume their reserved floor.
   long long floors = job.spec.floor_pods();
   for (const auto& other : jobs_)
-    if (other->state == JobState::kRunning) floors += other->spec.floor_pods();
-  if (options_.budget_pods > 0 && floors > options_.budget_pods) return false;
+    if (other->state == JobState::kRunning || other->state == JobState::kParked)
+      floors += other->spec.floor_pods();
+  if (budget_limited_ && floors > effective_budget_) return false;
   if (options_.limits.max_total_pods > 0 && floors > options_.limits.max_total_pods)
     return false;
   if (options_.limits.max_cost_rate_per_hour > 0.0 &&
@@ -161,7 +205,7 @@ void FleetScheduler::arbitrate() {
     demands.push_back(demand);
     running.push_back(job.get());
   }
-  if (options_.arbiter.mode != ArbiterMode::kStatic && options_.budget_pods > 0) {
+  if (options_.arbiter.mode != ArbiterMode::kStatic && budget_limited_) {
     // The pressure arm reasons in whole-pod deviations (delta_i) from the
     // static share, so first compute what the blind split would hand out
     // this slot.  Each job's target is share_i + delta_i; deltas only
@@ -174,8 +218,7 @@ void FleetScheduler::arbitrate() {
     // each, instead of starving any single job.
     ArbiterOptions blind = options_.arbiter;
     blind.mode = ArbiterMode::kStatic;
-    const std::vector<int> share =
-        BudgetArbiter(blind).split(options_.budget_pods, demands);
+    const std::vector<int> share = BudgetArbiter(blind).split(effective_budget_, demands);
 
     // Transfer matching: recipients are distressed jobs, most pressured
     // first; donors are stably comfortable jobs, least pressured first.
@@ -249,7 +292,7 @@ void FleetScheduler::arbitrate() {
       demands[k].held_pods = running[k]->grant;
     }
   }
-  const std::vector<int> grants = arbiter_.split(options_.budget_pods, demands);
+  const std::vector<int> grants = arbiter_.split(effective_budget_, demands);
   for (std::size_t k = 0; k < running.size(); ++k) {
     running[k]->grant = grants[k];
     cluster_.set_job_quota(running[k]->spec.name, cluster::AdmissionLimits{grants[k], 0.0});
@@ -258,7 +301,7 @@ void FleetScheduler::arbitrate() {
 
 void FleetScheduler::construct_bundle(Job& job) {
   const std::uint64_t seed = job_seed(options_.seed, job.index);
-  const online::Budget budget = options_.budget_pods > 0
+  const online::Budget budget = budget_limited_
                                     ? pods_budget(job.grant, options_.pod_price_per_hour)
                                     : online::Budget::unlimited(options_.pod_price_per_hour);
   job.engine = std::make_unique<streamsim::Engine>(
@@ -310,7 +353,205 @@ void FleetScheduler::sync_ledger(Job& job) {
   }
 }
 
+int FleetScheduler::victim_node() const noexcept {
+  // The most-loaded usable node (lowest index on ties): the worst-case
+  // correlated failure, tearing pods off the largest set of co-located jobs.
+  int best = -1;
+  for (int k = 0; k < cluster_.node_count(); ++k) {
+    const cluster::Node& n = cluster_.node(k);
+    if (n.failed || n.cordoned) continue;
+    if (best < 0 || n.used > cluster_.node(best).used) best = k;
+  }
+  return best;
+}
+
+void FleetScheduler::propagate_node_loss(faults::AppliedFleetFault& applied,
+                                         const std::vector<cluster::NodeEviction>& evicted) {
+  // Fixed index order over jobs, DAG order over operators: the same loss is
+  // always delivered in the same sequence.  Each torn-away pod goes through
+  // the engine's crash seam; the engine floors every operator at one task
+  // (Kubernetes would reschedule the last pod), and the slot-end ledger sync
+  // re-places any such survivor on a healthy node.
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kRunning || job->engine == nullptr) continue;
+    for (dag::NodeId op : job->engine->dag().operators()) {
+      const std::string mirror =
+          job->spec.name + "/" + job->engine->dag().component(op).name;
+      for (const cluster::NodeEviction& ev : evicted) {
+        if (ev.deployment != mirror) continue;
+        for (int p = 0; p < ev.pods; ++p) job->engine->inject_pod_failure(op);
+        applied.pods_lost += ev.pods;
+      }
+    }
+  }
+}
+
+void FleetScheduler::apply_chaos() {
+  // Close windows first: a drain ending at slot s has the node usable again
+  // for slot s, and an expired budget cut stops biting before this slot's
+  // arbitration.
+  for (auto it = drains_.begin(); it != drains_.end();) {
+    if (it->first <= slot_) {
+      cluster_.uncordon_node(it->second);
+      it = drains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = cuts_.begin(); it != cuts_.end();) {
+    if (it->first <= slot_) {
+      it = cuts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (const faults::FleetFaultEvent& event : chaos_.events()) {
+    if (event.slot != slot_) continue;
+    faults::AppliedFleetFault applied;
+    applied.event = event;
+    applied.slot = slot_;
+    switch (event.kind) {
+      case faults::FleetFaultKind::kNodeCrash:
+        for (int k = 0; k < static_cast<int>(event.value); ++k) {
+          const int victim = victim_node();
+          if (victim < 0) break;  // nothing left to kill
+          const std::vector<cluster::NodeEviction> evicted = cluster_.fail_node(victim);
+          applied.nodes.push_back(victim);
+          propagate_node_loss(applied, evicted);
+        }
+        break;
+      case faults::FleetFaultKind::kNodeDrain:
+        for (int k = 0; k < static_cast<int>(event.value); ++k) {
+          const int victim = victim_node();
+          if (victim < 0) break;
+          const std::vector<cluster::NodeEviction> evicted = cluster_.drain_node(victim);
+          applied.nodes.push_back(victim);
+          drains_.emplace_back(slot_ + event.duration_slots, victim);
+          propagate_node_loss(applied, evicted);
+        }
+        break;
+      case faults::FleetFaultKind::kBudgetCut:
+        cuts_.emplace_back(slot_ + event.duration_slots, event.value);
+        break;
+      case faults::FleetFaultKind::kJobCrash:
+        for (const auto& job : jobs_) {
+          if (job->spec.name != event.job) continue;
+          if (job->state != JobState::kRunning || job->engine == nullptr) break;
+          for (dag::NodeId op : job->engine->dag().operators()) {
+            const int tasks = job->engine->tasks(op);
+            for (int p = 1; p < tasks; ++p) job->engine->inject_pod_failure(op);
+            applied.pods_lost += tasks - 1;
+          }
+          break;
+        }
+        break;
+    }
+    if (obs_ != nullptr) {
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "fleet_fault", static_cast<std::uint64_t>(slot_))
+            .field("spec", event.to_string())
+            .field("victim_nodes", static_cast<std::int64_t>(applied.nodes.size()))
+            .field("pods_lost", static_cast<std::int64_t>(applied.pods_lost));
+      }
+    }
+    fleet_faults_.push_back(std::move(applied));
+  }
+}
+
+void FleetScheduler::park_job(Job& job) {
+  cluster_.remove_job(job.spec.name);
+  job.state = JobState::kParked;
+  job.grant = 0;
+  ++job.sheds;
+  ++sheds_;
+  if (obs_ != nullptr) {
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "fleet_brownout", static_cast<std::uint64_t>(slot_))
+          .field("action", "park")
+          .field("job", job.spec.name);
+    }
+  }
+}
+
+void FleetScheduler::restore_job(Job& job) {
+  // Re-mirror the bundle from engine truth (the engine kept its state while
+  // parked); the next arbitration re-grants and the runner's budget
+  // enforcement shrinks any over-floor remnants deterministically.
+  for (dag::NodeId op : job.engine->dag().operators()) {
+    const cluster::Deployment& d =
+        job.engine->cluster().deployment(job.engine->dag().component(op).name);
+    const std::string mirror = job.spec.name + "/" + d.name;
+    cluster_.add_deployment(mirror, d.replicas, d.spec, job.spec.name);
+    cluster_.set_pending(mirror, d.pending);
+  }
+  job.state = JobState::kRunning;
+  ++job.restores;
+  ++restores_;
+  if (obs_ != nullptr) {
+    if (obs::TraceSink* sink = obs_->trace()) {
+      obs::Event(*sink, "fleet_brownout", static_cast<std::uint64_t>(slot_))
+          .field("action", "restore")
+          .field("job", job.spec.name);
+    }
+  }
+}
+
+void FleetScheduler::brownout() {
+  if (!budget_limited_) return;
+  // Shed while the aggregate floor cannot fit: lowest weight first, youngest
+  // (highest index) among equals — the exact mirror of eviction priority,
+  // except the bundle survives to be restored.
+  while (true) {
+    long long floors = 0;
+    for (const auto& job : jobs_)
+      if (job->state == JobState::kRunning) floors += job->spec.floor_pods();
+    if (floors <= effective_budget_) break;
+    Job* victim = nullptr;
+    for (const auto& job : jobs_) {
+      if (job->state != JobState::kRunning || job->engine == nullptr) continue;
+      if (victim == nullptr || job->spec.weight < victim->spec.weight ||
+          (job->spec.weight <= victim->spec.weight && job->index > victim->index))
+        victim = job.get();
+    }
+    if (victim == nullptr) break;  // nothing sheddable (no built bundles)
+    park_job(*victim);
+    restore_streak_ = 0;
+  }
+  // Restore at most one job per slot, highest priority first, and only after
+  // capacity has covered its floor for restore_hysteresis_slots consecutive
+  // slots — the hysteresis that keeps a flapping capacity signal from
+  // thrashing park -> restore -> park.
+  Job* comeback = nullptr;
+  for (const auto& job : jobs_) {
+    if (job->state != JobState::kParked) continue;
+    if (comeback == nullptr || job->spec.weight > comeback->spec.weight ||
+        (job->spec.weight >= comeback->spec.weight && job->index < comeback->index))
+      comeback = job.get();
+  }
+  if (comeback == nullptr) {
+    restore_streak_ = 0;
+    return;
+  }
+  long long floors = 0;
+  for (const auto& job : jobs_)
+    if (job->state == JobState::kRunning) floors += job->spec.floor_pods();
+  if (floors + comeback->spec.floor_pods() <= effective_budget_) {
+    if (++restore_streak_ >= options_.restore_hysteresis_slots) {
+      restore_job(*comeback);
+      restore_streak_ = 0;
+    }
+  } else {
+    restore_streak_ = 0;
+  }
+}
+
 void FleetScheduler::step() {
+  if (chaos_active()) {
+    apply_chaos();
+    refresh_effective_budget();
+    brownout();
+  }
   admit_phase();
   arbitrate();
 
@@ -323,7 +564,7 @@ void FleetScheduler::step() {
     if (job->fresh)
       construct_bundle(*job);
     else
-      job->runner->set_budget(options_.budget_pods > 0
+      job->runner->set_budget(budget_limited_
                                   ? pods_budget(job->grant, options_.pod_price_per_hour)
                                   : online::Budget::unlimited(options_.pod_price_per_hour));
     job->runner->step();
@@ -409,8 +650,24 @@ void FleetScheduler::step() {
 
     sync_ledger(*job);
   }
-  for (const auto& job : jobs_)
+  for (const auto& job : jobs_) {
     if (job->state == JobState::kQueued) record.queued_jobs += 1;
+    if (job->state == JobState::kParked) record.parked_jobs += 1;
+  }
+  if (cluster_.nodes_enabled()) {
+    // Slot end is the reconciliation point: every job has synced its mirror,
+    // so any pods left unscheduled by a mid-slot capacity squeeze get their
+    // deterministic retry against whatever freed up.
+    cluster_.place_unscheduled();
+    for (int k = 0; k < cluster_.node_count(); ++k) {
+      const cluster::Node& n = cluster_.node(k);
+      record.failed_nodes += n.failed ? 1 : 0;
+      record.cordoned_nodes += n.cordoned ? 1 : 0;
+    }
+    record.unscheduled_pods = cluster_.unscheduled_pods();
+    record.nodes_within_capacity = cluster_.nodes_within_capacity();
+  }
+  record.effective_budget = budget_limited_ ? effective_budget_ : 0;
 
   record.total_pods = cluster_.total_pods();
   record.pending_pods = cluster_.total_pending();
@@ -445,6 +702,23 @@ void FleetScheduler::step() {
           .field("queued", static_cast<std::uint64_t>(record.queued_jobs))
           .field("within_limits", record.within_limits);
     }
+    if (chaos_active()) {
+      // Chaos-only telemetry rides on its own event so the fault-free
+      // fleet_slot schema (and its trace bytes) stay exactly as before.
+      obs_->gauge("fleet_parked_jobs", "Jobs shed by brownout, awaiting restore")
+          .set(static_cast<double>(record.parked_jobs));
+      obs_->gauge("fleet_effective_budget_pods", "Post-fault pod budget the arbiter split")
+          .set(static_cast<double>(record.effective_budget));
+      if (obs::TraceSink* sink = obs_->trace()) {
+        obs::Event(*sink, "fleet_chaos_slot", static_cast<std::uint64_t>(slot_))
+            .field("effective_budget", record.effective_budget)
+            .field("parked", static_cast<std::uint64_t>(record.parked_jobs))
+            .field("failed_nodes", record.failed_nodes)
+            .field("cordoned_nodes", record.cordoned_nodes)
+            .field("unscheduled_pods", record.unscheduled_pods)
+            .field("nodes_within_capacity", record.nodes_within_capacity);
+      }
+    }
   }
 
   fleet_slots_.push_back(record);
@@ -457,16 +731,24 @@ FleetResult FleetScheduler::finish() {
   result.admissions = admissions_;
   result.rejections = rejections_;
   result.evictions = evictions_;
+  result.sheds = sheds_;
+  result.restores = restores_;
   result.limits_respected = limits_respected_;
+  result.fleet_faults = std::move(fleet_faults_);
   result.jobs.reserve(jobs_.size());
   for (const auto& job : jobs_) {
     if (job->state == JobState::kRunning) destroy_bundle(*job, JobState::kFinished);
+    // A job still parked at the horizon keeps kParked: capacity never came
+    // back for it, and the outcome should say so.
+    if (job->state == JobState::kParked) destroy_bundle(*job, JobState::kParked);
     JobOutcome outcome;
     outcome.name = job->spec.name;
     outcome.state = job->state;
     outcome.admitted_slot = job->admitted_slot;
     outcome.evicted_slot = job->evicted_slot;
     outcome.slo_misses = job->slo_misses;
+    outcome.sheds = job->sheds;
+    outcome.restores = job->restores;
     outcome.run = std::move(job->result);
     outcome.slots_run = outcome.run.slots.size();
     result.total_tuples += outcome.run.total_tuples;

@@ -22,6 +22,16 @@
 //      slot's fleet aggregates (pods, spend, SLO misses, throughput) are
 //      recorded and published as fleet-level gauges / trace events.
 //
+// With a fault-domain model configured (FleetOptions::node_count) the slot
+// gains a chaos prologue: cluster-scoped faults from a FleetFaultPlan fire
+// first — node crashes/drains tear co-located pods off every affected job
+// through the engines' inject_pod_failure seam in fixed index order, budget
+// cuts shrink the slot's effective budget — and a brownout pass then parks
+// lowest-priority jobs (bundle kept, pods released) while the aggregate
+// floor exceeds the post-fault capacity, restoring them by priority with
+// hysteresis once capacity returns.  A fault-free run never enters any of
+// these paths and stays bit-identical to the flat-ledger fleet.
+//
 // Determinism contract: jobs are stepped in spec-index order, every job's
 // engine is seeded from a counter-based substream of the fleet seed keyed on
 // the job index, and budget splitting is whole-pod integer arithmetic — so
@@ -33,6 +43,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -56,6 +67,19 @@ struct FleetOptions {
   /// attempt when the gate is full.
   bool allow_eviction = false;
   std::uint64_t seed = 1;
+  // -- fault-domain model (off by default: zero nodes keeps the shared
+  //    ledger flat and every slot bit-identical to the pre-node fleet) -----
+  /// Number of physical nodes behind the shared ledger; 0 disables the
+  /// fault-domain model.
+  int node_count = 0;
+  /// Pod capacity per node (required >= 1 when node_count > 0).
+  int node_capacity = 0;
+  /// Cluster-scoped chaos timeline (faults::FleetFaultPlan grammar); node
+  /// events require node_count > 0.  Empty = no fleet faults.
+  std::string chaos;
+  /// Brownout restore hysteresis: consecutive slots the post-fault capacity
+  /// must cover the next parked job's floor before it is handed back.
+  std::size_t restore_hysteresis_slots = 2;
 };
 
 class FleetScheduler {
@@ -102,6 +126,26 @@ class FleetScheduler {
   [[nodiscard]] bool gate_allows(const Job& job) const;
   [[nodiscard]] Job* eviction_victim(double incoming_weight);
 
+  // -- fleet chaos + graceful degradation (all no-ops on a fault-free run) --
+  [[nodiscard]] bool chaos_active() const noexcept;
+  /// Recomputes the slot's effective budget: the configured pod budget after
+  /// active budget cuts, capped by the usable node capacity.
+  void refresh_effective_budget();
+  /// Expires drain/cut windows ending now, then fires every chaos event
+  /// scheduled for this slot against the shared ledger and the affected
+  /// jobs' engines (fixed index order).
+  void apply_chaos();
+  void propagate_node_loss(faults::AppliedFleetFault& applied,
+                           const std::vector<cluster::NodeEviction>& evicted);
+  /// Most-loaded usable node, lowest index on ties; -1 if none are left.
+  [[nodiscard]] int victim_node() const noexcept;
+  /// Sheds lowest-priority jobs while the aggregate floor exceeds the
+  /// effective budget; restores the highest-priority parked job once
+  /// capacity has covered its floor for restore_hysteresis_slots in a row.
+  void brownout();
+  void park_job(Job& job);
+  void restore_job(Job& job);
+
   std::vector<std::unique_ptr<Job>> jobs_;  ///< spec order, stable for the run
   FleetOptions options_;
   BudgetArbiter arbiter_;
@@ -113,6 +157,16 @@ class FleetScheduler {
   std::size_t rejections_ = 0;
   std::size_t evictions_ = 0;
   bool limits_respected_ = true;
+  // Chaos state: the parsed plan, windows currently open, and what fired.
+  faults::FleetFaultPlan chaos_;
+  std::vector<faults::AppliedFleetFault> fleet_faults_;
+  std::vector<std::pair<std::size_t, int>> drains_;     ///< (end slot, node)
+  std::vector<std::pair<std::size_t, double>> cuts_;    ///< (end slot, fraction)
+  int effective_budget_ = 0;      ///< this slot's pod budget; 0 + !limited = unlimited
+  bool budget_limited_ = false;   ///< whether effective_budget_ binds at all
+  std::size_t restore_streak_ = 0;
+  std::size_t sheds_ = 0;
+  std::size_t restores_ = 0;
 };
 
 /// Mirrors experiments::run_scenario at fleet scale: construct, step

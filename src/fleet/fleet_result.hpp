@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "experiments/scenario.hpp"
+#include "faults/fleet_fault_plan.hpp"
 
 namespace dragster::fleet {
 
@@ -18,6 +19,7 @@ enum class JobState {
   kRunning,
   kFinished,  ///< ran through the fleet horizon
   kEvicted,   ///< removed mid-run for a higher-weight arrival
+  kParked,    ///< shed by brownout; bundle kept, waiting for capacity
 };
 
 [[nodiscard]] const char* to_string(JobState state);
@@ -37,6 +39,17 @@ struct FleetSlot {
   std::size_t queued_jobs = 0;
   /// Cluster-wide AdmissionLimits held (pods and spend) at slot end.
   bool within_limits = true;
+  // -- fault-domain / chaos accounting (defaults match a fault-free run) ----
+  /// Pod budget the arbiter actually split this slot after budget cuts and
+  /// node capacity loss; 0 when the run is unlimited.
+  int effective_budget = 0;
+  std::size_t parked_jobs = 0;    ///< jobs shed by brownout, awaiting restore
+  int failed_nodes = 0;           ///< permanently failed nodes so far
+  int cordoned_nodes = 0;         ///< nodes inside an active drain window
+  int unscheduled_pods = 0;       ///< pods no usable node could hold
+  /// No node held more pods than its capacity at slot end (always true when
+  /// the node model is off).
+  bool nodes_within_capacity = true;
 };
 
 struct JobOutcome {
@@ -46,6 +59,8 @@ struct JobOutcome {
   std::optional<std::size_t> evicted_slot;
   std::size_t slo_misses = 0;
   std::size_t slots_run = 0;
+  std::size_t sheds = 0;     ///< times brownout parked this job
+  std::size_t restores = 0;  ///< times it was handed its pods back
   /// Full single-job analytics; default-constructed if never admitted.
   experiments::RunResult run;
 };
@@ -59,8 +74,13 @@ struct FleetResult {
   std::size_t admissions = 0;
   std::size_t rejections = 0;  ///< failed admission attempts (one per queued job per slot)
   std::size_t evictions = 0;
+  std::size_t sheds = 0;     ///< brownout park events across the run
+  std::size_t restores = 0;  ///< brownout restore events across the run
   /// Every slot stayed within the cluster-wide AdmissionLimits.
   bool limits_respected = true;
+  /// Fleet faults that actually fired, with their victim nodes and pod
+  /// counts — feed analyze_fleet_recovery() together with a health series.
+  std::vector<faults::AppliedFleetFault> fleet_faults;
 };
 
 }  // namespace dragster::fleet

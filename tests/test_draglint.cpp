@@ -88,6 +88,10 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       {"fleet_trace.cpp", 27, "DL002"},      // unordered grants into TraceSink
       {"fleet_trace.cpp", 32, "DL005"},      // arbiter delta saved, never read
       {"fleet_trace.cpp", 37, "DL005"},      // cooldown read, never saved
+      {"node_map.cpp", 27, "DL002"},         // unordered node->pods into TraceSink
+      {"node_map.cpp", 33, "DL002"},         // .begin() on the unordered cordon set
+      {"node_map.cpp", 34, "DL002"},         // ...and its .end() guard
+      // (node_map.cpp line 36, the ordered std::map mirror, must NOT fire)
       {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
       {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
       {"throw_type.cpp", 13, "DL003"},       // std::runtime_error

@@ -559,5 +559,119 @@ TEST(DragsterController, ReissuesCommandAfterCrash) {
   EXPECT_GE(sim.engine->tasks(sim.op), commanded - 1);
 }
 
+TEST(FleetFaultPlan, ParsesCanonicalSpecAndRoundTrips) {
+  const FleetFaultPlan plan = FleetFaultPlan::parse(
+      "budgetcut@9+4*0.3;nodecrash@5*2;nodedrain@3+2;jobcrash@7:job-1");
+  ASSERT_EQ(plan.size(), 4u);
+  // Events come back stable-sorted by slot.
+  EXPECT_EQ(plan.events()[0].kind, FleetFaultKind::kNodeDrain);
+  EXPECT_EQ(plan.events()[0].slot, 3u);
+  EXPECT_EQ(plan.events()[0].duration_slots, 2u);
+  EXPECT_EQ(plan.events()[1].kind, FleetFaultKind::kNodeCrash);
+  EXPECT_DOUBLE_EQ(plan.events()[1].value, 2.0);
+  EXPECT_EQ(plan.events()[2].kind, FleetFaultKind::kJobCrash);
+  EXPECT_EQ(plan.events()[2].job, "job-1");
+  EXPECT_EQ(plan.events()[3].kind, FleetFaultKind::kBudgetCut);
+  EXPECT_DOUBLE_EQ(plan.events()[3].value, 0.3);
+  EXPECT_EQ(plan.to_string(),
+            "nodedrain@3+2;nodecrash@5*2;jobcrash@7:job-1;budgetcut@9+4*0.3");
+  EXPECT_EQ(FleetFaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+  EXPECT_TRUE(plan.touches_nodes());
+  EXPECT_FALSE(FleetFaultPlan::parse("budgetcut@2+1*0.5").touches_nodes());
+  // A bare nodecrash defaults to one node and an instantaneous window.
+  const FleetFaultPlan bare = FleetFaultPlan::parse("nodecrash@4");
+  EXPECT_DOUBLE_EQ(bare.events()[0].value, 1.0);
+  EXPECT_EQ(bare.events()[0].duration_slots, 1u);
+  EXPECT_TRUE(FleetFaultPlan::parse("").empty());
+}
+
+TEST(FleetFaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FleetFaultPlan::parse("nodecrash5"), std::invalid_argument);  // missing @slot
+  EXPECT_THROW(FleetFaultPlan::parse("podkill@3"), std::invalid_argument);   // unknown kind
+  EXPECT_THROW(FleetFaultPlan::parse("budgetcut@3+2"), std::invalid_argument);  // no *fraction
+  EXPECT_THROW(FleetFaultPlan::parse("budgetcut@3+2*1.5"),
+               std::invalid_argument);                                     // fraction not in (0,1)
+  EXPECT_THROW(FleetFaultPlan::parse("jobcrash@3"), std::invalid_argument);  // needs :job
+  EXPECT_THROW(FleetFaultPlan::parse("jobcrash@3*2:x"), std::invalid_argument);  // no *value
+  EXPECT_THROW(FleetFaultPlan::parse("nodecrash@3+2"),
+               std::invalid_argument);  // instantaneous, no +duration
+  EXPECT_THROW(FleetFaultPlan::parse("nodecrash@3:x"), std::invalid_argument);   // no :job
+  EXPECT_THROW(FleetFaultPlan::parse("nodecrash@3*1.5"),
+               std::invalid_argument);  // node count must be integral
+  EXPECT_THROW(FleetFaultPlan::parse("nodedrain@3*0"), std::invalid_argument);   // explicit *0
+  EXPECT_THROW(FleetFaultPlan::parse("nodedrain@3+2+2"),
+               std::invalid_argument);  // repeated modifier
+  EXPECT_THROW(FleetFaultPlan::parse("nodecrash@4;nodecrash@4"),
+               std::invalid_argument);  // duplicate (kind, slot, job)
+}
+
+TEST(FleetFaultPlan, SampleIsDeterministicRespectsWarmupAndCrashCap) {
+  FleetFaultPlan::SampleOptions options;
+  options.horizon_slots = 40;
+  options.warmup_slots = 10;
+  options.nodecrash_prob = 0.3;
+  options.nodedrain_prob = 0.2;
+  options.budgetcut_prob = 0.2;
+  options.jobcrash_prob = 0.1;
+  options.max_crash_nodes = 2;
+  options.jobs = {"a", "b"};
+  common::Rng rng1(123);
+  common::Rng rng2(123);
+  const FleetFaultPlan p1 = FleetFaultPlan::sample(rng1, options);
+  const FleetFaultPlan p2 = FleetFaultPlan::sample(rng2, options);
+  EXPECT_EQ(p1.to_string(), p2.to_string());
+  std::size_t crashes = 0;
+  for (const FleetFaultEvent& event : p1.events()) {
+    EXPECT_GE(event.slot, options.warmup_slots);
+    EXPECT_LT(event.slot, options.horizon_slots);
+    if (event.kind == FleetFaultKind::kNodeCrash) ++crashes;
+    if (event.kind == FleetFaultKind::kJobCrash) {
+      EXPECT_TRUE(event.job == "a" || event.job == "b");
+    }
+  }
+  EXPECT_LE(crashes, options.max_crash_nodes);
+  FleetFaultPlan::SampleOptions inverted;
+  inverted.horizon_slots = 4;
+  inverted.warmup_slots = 6;
+  EXPECT_THROW(FleetFaultPlan::sample(rng1, inverted),
+               std::invalid_argument);  // warmup past horizon
+}
+
+TEST(FleetRecovery, ScoresHealthDipAndRecovery) {
+  // Ten active jobs, fully healthy except a three-slot dip after the fault.
+  std::vector<FleetHealthSlot> slots(12, FleetHealthSlot{10.0, 10.0});
+  slots[5] = {4.0, 10.0};
+  slots[6] = {6.0, 10.0};
+  slots[7] = {8.0, 10.0};  // 0.8 is still under the 0.9 recovery bar
+  AppliedFleetFault fault;
+  fault.event = FleetFaultEvent{FleetFaultKind::kNodeCrash, 5, 1, 2.0, ""};
+  fault.slot = 5;
+  const std::vector<AppliedFleetFault> timeline{fault};
+  const std::vector<FleetRecoveryStats> stats = analyze_fleet_recovery(timeline, slots);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_DOUBLE_EQ(stats[0].pre_fault_level, 1.0);
+  ASSERT_TRUE(stats[0].slots_to_recover.has_value());
+  EXPECT_EQ(*stats[0].slots_to_recover, 3u);
+  // (1-0.4)*10 + (1-0.6)*10 + (1-0.8)*10 job-slots spent under the dip.
+  EXPECT_NEAR(stats[0].job_slots_lost, 12.0, 1e-9);
+}
+
+TEST(FleetRecovery, NoDipScoresZeroAndPastHorizonNeverRecovers) {
+  const std::vector<FleetHealthSlot> slots(8, FleetHealthSlot{5.0, 5.0});
+  AppliedFleetFault benign;
+  benign.event = FleetFaultEvent{FleetFaultKind::kBudgetCut, 3, 2, 0.3, ""};
+  benign.slot = 3;
+  AppliedFleetFault late;
+  late.event = FleetFaultEvent{FleetFaultKind::kNodeCrash, 20, 1, 1.0, ""};
+  late.slot = 20;  // fired past the recorded series
+  const std::vector<AppliedFleetFault> timeline{benign, late};
+  const std::vector<FleetRecoveryStats> stats = analyze_fleet_recovery(timeline, slots);
+  ASSERT_EQ(stats.size(), 2u);
+  ASSERT_TRUE(stats[0].slots_to_recover.has_value());
+  EXPECT_EQ(*stats[0].slots_to_recover, 0u);  // never dipped below the bar
+  EXPECT_DOUBLE_EQ(stats[0].job_slots_lost, 0.0);
+  EXPECT_FALSE(stats[1].slots_to_recover.has_value());
+}
+
 }  // namespace
 }  // namespace dragster::faults

@@ -289,5 +289,128 @@ TEST(Fleet, ArbiterSplitRespectsFloorsCapsAndBudget) {
   EXPECT_GT(grants[0], grants[1]);
 }
 
+TEST(Fleet, NodesWithoutFaultsAreBitIdenticalToFlatLedger) {
+  // Turning the fault-domain model on without any chaos must not perturb a
+  // single bit: when usable capacity covers the budget the effective budget
+  // IS the budget, placement is pure bookkeeping, and every job steps
+  // through the identical code path.
+  fleet::FleetOptions flat;
+  flat.slots = 6;
+  flat.budget_pods = 30;
+  flat.limits.max_total_pods = 30;
+  flat.seed = 17;
+  fleet::FleetOptions noded = flat;
+  noded.node_count = 10;  // 40 pod slots >= the 30-pod budget
+  noded.node_capacity = 4;
+
+  const fleet::FleetResult a = fleet::run_fleet(mixed_fleet(8), flat);
+  const fleet::FleetResult b = fleet::run_fleet(mixed_fleet(8), noded);
+
+  EXPECT_EQ(bits(a.total_tuples), bits(b.total_tuples));
+  EXPECT_EQ(bits(a.total_cost), bits(b.total_cost));
+  EXPECT_EQ(a.total_slo_misses, b.total_slo_misses);
+  ASSERT_EQ(a.slots.size(), b.slots.size());
+  for (std::size_t t = 0; t < a.slots.size(); ++t) {
+    SCOPED_TRACE("slot " + std::to_string(t));
+    EXPECT_EQ(a.slots[t].total_pods, b.slots[t].total_pods);
+    EXPECT_EQ(a.slots[t].granted_pods, b.slots[t].granted_pods);
+    EXPECT_EQ(a.slots[t].effective_budget, b.slots[t].effective_budget);
+    EXPECT_EQ(bits(a.slots[t].spend_rate), bits(b.slots[t].spend_rate));
+    EXPECT_EQ(b.slots[t].parked_jobs, 0u);
+    EXPECT_EQ(b.slots[t].failed_nodes, 0);
+    EXPECT_EQ(b.slots[t].unscheduled_pods, 0);
+    EXPECT_TRUE(b.slots[t].nodes_within_capacity);
+  }
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) expect_identical(a.jobs[i].run, b.jobs[i].run);
+  EXPECT_EQ(b.sheds, 0u);
+  EXPECT_TRUE(b.fleet_faults.empty());
+}
+
+TEST(Fleet, BudgetCutParksLowPriorityJobsAndRestoresWithHysteresis) {
+  // A 90% budget cut drops the effective budget below the aggregate floor:
+  // brownout parks the two lighter jobs (lowest weight first) and keeps the
+  // heavyweight serving; when the window closes, parked jobs come back by
+  // priority, one per slot, each after the two-slot hysteresis streak.
+  std::vector<fleet::JobSpec> specs(3);
+  specs[0].name = "keeper";
+  specs[0].workload = workloads::group();  // floor 1
+  specs[0].weight = 3.0;
+  specs[1].name = "mid";
+  specs[1].workload = workloads::group();  // floor 1
+  specs[1].weight = 2.0;
+  specs[2].name = "shed-first";
+  specs[2].workload = workloads::window();  // floor 2
+  specs[2].weight = 1.0;
+  for (auto& spec : specs) {
+    spec.engine.slot_duration_s = 60.0;
+    spec.engine.sample_interval_s = 60.0;
+  }
+
+  fleet::FleetOptions options;
+  options.slots = 12;
+  options.budget_pods = 8;  // floors sum to 4
+  options.limits.max_total_pods = 8;
+  options.seed = 5;
+  options.chaos = "budgetcut@2+3*0.9";  // effective budget 1 during slots 2..4
+  options.restore_hysteresis_slots = 2;
+  const fleet::FleetResult result = fleet::run_fleet(std::move(specs), options);
+
+  EXPECT_EQ(result.sheds, 2u);
+  EXPECT_EQ(result.restores, 2u);
+  EXPECT_EQ(result.jobs[0].sheds, 0u);
+  EXPECT_EQ(result.jobs[1].sheds, 1u);
+  EXPECT_EQ(result.jobs[1].restores, 1u);
+  EXPECT_EQ(result.jobs[2].sheds, 1u);
+  EXPECT_EQ(result.jobs[2].restores, 1u);
+  for (const auto& job : result.jobs) EXPECT_EQ(job.state, fleet::JobState::kFinished);
+  // Parked ledger: both lighter jobs sit out the window, then return one per
+  // slot — "mid" (heavier) first at slot 6, "shed-first" at slot 8.
+  EXPECT_EQ(result.slots[1].parked_jobs, 0u);
+  EXPECT_EQ(result.slots[2].parked_jobs, 2u);
+  EXPECT_EQ(result.slots[4].parked_jobs, 2u);
+  EXPECT_EQ(result.slots[5].parked_jobs, 2u);  // hysteresis holds the restore
+  EXPECT_EQ(result.slots[6].parked_jobs, 1u);
+  EXPECT_EQ(result.slots[7].parked_jobs, 1u);
+  EXPECT_EQ(result.slots[8].parked_jobs, 0u);
+  // During the cut only the keeper's floor is granted.
+  EXPECT_EQ(result.slots[3].effective_budget, 1);
+  EXPECT_EQ(result.slots[3].granted_pods, 1);
+  EXPECT_EQ(result.slots[3].running_jobs, 1u);
+  // A parked job is not stepped: its RunResult is shorter than the horizon.
+  EXPECT_LT(result.jobs[2].slots_run, 12u);
+  EXPECT_TRUE(result.limits_respected);
+}
+
+TEST(Fleet, NodeCrashAndJobCrashPropagateThroughEngines) {
+  std::vector<fleet::JobSpec> specs = mixed_fleet(4);
+  long long floors = 0;
+  for (const auto& spec : specs) floors += spec.floor_pods();
+
+  fleet::FleetOptions options;
+  options.slots = 8;
+  options.budget_pods = static_cast<int>(floors) + 8;
+  options.limits.max_total_pods = options.budget_pods;
+  options.seed = 9;
+  options.node_capacity = 3;
+  options.node_count = (options.budget_pods + 2) / 3 + 1;
+  options.chaos = "nodecrash@3;jobcrash@5:job-1";
+  const fleet::FleetResult result = fleet::run_fleet(std::move(specs), options);
+
+  ASSERT_EQ(result.fleet_faults.size(), 2u);
+  EXPECT_EQ(result.fleet_faults[0].event.kind, faults::FleetFaultKind::kNodeCrash);
+  ASSERT_EQ(result.fleet_faults[0].nodes.size(), 1u);
+  EXPECT_GT(result.fleet_faults[0].pods_lost, 0);  // the victim hosted real pods
+  EXPECT_EQ(result.fleet_faults[1].event.kind, faults::FleetFaultKind::kJobCrash);
+  EXPECT_EQ(result.fleet_faults[1].event.job, "job-1");
+  for (const fleet::FleetSlot& slot : result.slots) {
+    SCOPED_TRACE("slot " + std::to_string(slot.slot));
+    EXPECT_TRUE(slot.nodes_within_capacity);
+    EXPECT_EQ(slot.failed_nodes, slot.slot >= 3 ? 1 : 0);
+  }
+  for (const auto& job : result.jobs) EXPECT_EQ(job.state, fleet::JobState::kFinished);
+  EXPECT_TRUE(result.limits_respected);
+}
+
 }  // namespace
 }  // namespace dragster

@@ -23,6 +23,8 @@
 #include "experiments/scenario.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "faults/fleet_fault_plan.hpp"
+#include "fleet/fleet.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "resilience/snapshot.hpp"
@@ -234,6 +236,117 @@ TEST(PropertySweep, MidRunSnapshotRestoreIsBitIdentical) {
     for (std::size_t k = 0; k < reference.size(); ++k)
       EXPECT_EQ(bits(reference[k]), bits(restored[k])) << "sample " << k;
   }
+}
+
+TEST(PropertySweep, FleetChaosScenariosUpholdFleetInvariants) {
+  // Fleet-scale chaos sweep: each scenario samples a transient fleet fault
+  // plan from the grammar (drains, budget cuts, a capped node crash, job
+  // crashes) and runs a 10-job fleet on the fault-domain node model.  The
+  // invariants hold on *every* sampled plan, not just the curated ones:
+  //   * the deployed allocation never exceeds the effective budget (sum of
+  //     x_i <= B, with B already net of cuts and node loss),
+  //   * no node ever holds more pods than its capacity,
+  //   * every brownout-shed job is restored before the horizon (the sample
+  //     window closes early enough for cuts and drains to expire),
+  //   * the same seed reproduces the run byte-for-byte (trace + metrics).
+  constexpr std::size_t kFleetScenarios = 8;
+  constexpr std::size_t kJobs = 10;
+  std::size_t chaotic_runs = 0, shed_runs = 0;
+
+  const auto suite = workloads::nexmark_suite();
+  for (std::size_t i = 0; i < kFleetScenarios; ++i) {
+    SCOPED_TRACE("fleet scenario " + std::to_string(i));
+    common::Rng rng(0xF1EE70 + i);
+    const std::uint64_t seed = rng.next_u64();
+    const std::size_t slots = 28 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+
+    std::vector<fleet::JobSpec> specs;
+    long long floors = 0;
+    for (std::size_t j = 0; j < kJobs; ++j) {
+      fleet::JobSpec spec;
+      spec.name = "job-" + std::to_string(j);
+      spec.workload = suite[j % suite.size()];
+      spec.weight = 1.0 + static_cast<double>(j % 4);
+      spec.high_rate = j % 2 == 0;
+      spec.engine.slot_duration_s = 60.0;
+      spec.engine.sample_interval_s = 60.0;
+      floors += spec.floor_pods();
+      specs.push_back(std::move(spec));
+    }
+
+    fleet::FleetOptions options;
+    options.slots = slots;
+    options.budget_pods = static_cast<int>(floors) + static_cast<int>(rng.uniform_int(4, 8));
+    options.limits.max_total_pods = options.budget_pods;
+    options.node_capacity = static_cast<int>(rng.uniform_int(3, 4));
+    // Two spare nodes over the budget so the single permitted crash never
+    // sinks usable capacity below the budget -- restores stay reachable.
+    options.node_count =
+        (options.budget_pods + options.node_capacity - 1) / options.node_capacity + 2;
+    options.restore_hysteresis_slots = static_cast<std::size_t>(rng.uniform_int(1, 2));
+    options.seed = seed;
+
+    // Transient chaos: the sample window closes well before the horizon so
+    // every drain and cut expires with room for one-per-slot restores.
+    faults::FleetFaultPlan::SampleOptions sample;
+    sample.horizon_slots = 12;
+    sample.warmup_slots = 3;
+    sample.nodecrash_prob = 0.06;
+    sample.nodedrain_prob = 0.12;
+    sample.budgetcut_prob = 0.14;
+    sample.jobcrash_prob = 0.06;
+    sample.max_crash_nodes = 1;
+    sample.max_window_slots = 4;
+    sample.cut_fraction = rng.uniform(0.4, 0.7);
+    for (const fleet::JobSpec& spec : specs) sample.jobs.push_back(spec.name);
+    common::Rng chaos = rng.substream("fleet-chaos");
+    const faults::FleetFaultPlan plan = faults::FleetFaultPlan::sample(chaos, sample);
+    options.chaos = plan.to_string();
+    chaotic_runs += plan.empty() ? 0 : 1;
+
+    auto run_once = [&](obs::Registry& registry) {
+      return fleet::run_fleet(specs, options, &registry);
+    };
+    obs::Registry first_registry, second_registry;
+    obs::MemoryTraceSink first_sink, second_sink;
+    first_registry.set_trace(&first_sink);
+    second_registry.set_trace(&second_sink);
+    const fleet::FleetResult result = run_once(first_registry);
+    const fleet::FleetResult rerun = run_once(second_registry);
+
+    // -- budget + node capacity, every slot ---------------------------------
+    EXPECT_TRUE(result.limits_respected);
+    ASSERT_EQ(result.slots.size(), slots);
+    for (const fleet::FleetSlot& slot : result.slots) {
+      SCOPED_TRACE("slot " + std::to_string(slot.slot));
+      ASSERT_GT(slot.effective_budget, 0);
+      EXPECT_LE(slot.total_pods, slot.effective_budget);
+      EXPECT_LE(slot.effective_budget, options.budget_pods);
+      EXPECT_TRUE(slot.nodes_within_capacity);
+      EXPECT_TRUE(slot.within_limits);
+    }
+
+    // -- every shed job was handed its pods back ----------------------------
+    EXPECT_EQ(result.sheds, result.restores);
+    for (const fleet::JobOutcome& job : result.jobs) {
+      SCOPED_TRACE("job " + job.name);
+      EXPECT_EQ(job.state, fleet::JobState::kFinished);
+      EXPECT_EQ(job.sheds, job.restores);
+      shed_runs += job.sheds > 0 ? 1 : 0;
+    }
+
+    // -- same seed, same bytes ----------------------------------------------
+    EXPECT_EQ(bits(result.total_tuples), bits(rerun.total_tuples));
+    EXPECT_EQ(bits(result.total_cost), bits(rerun.total_cost));
+    EXPECT_EQ(result.total_slo_misses, rerun.total_slo_misses);
+    ASSERT_GT(first_sink.lines(), 0u);
+    EXPECT_EQ(first_sink.str(), second_sink.str());
+    EXPECT_EQ(first_registry.expose(), second_registry.expose());
+  }
+
+  // The sweep actually exercised what it claims to cover.
+  EXPECT_GE(chaotic_runs, kFleetScenarios / 2);
+  EXPECT_GE(shed_runs, 1u);
 }
 
 }  // namespace

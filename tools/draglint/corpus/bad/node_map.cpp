@@ -1,0 +1,47 @@
+// DL002 corpus, fault-domain flavor: snapshotting the cluster's node->pods
+// assignment.  The per-node pod counts and the cordon set live in unordered
+// containers for O(1) failure handling; walking them while emitting per-node
+// trace events or writing the placement snapshot makes the byte stream
+// depend on hash order.  The ordered std::map walk below is the idiom
+// draglint must NOT flag — the exact-set equality in test_draglint pins
+// both the violations and the clean mirror.
+// This file is lint corpus only — it is never compiled or linked.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace corpus {
+
+struct TraceSink {  // marker: this file writes deterministic trace output
+  void event(const std::string& name, double value);
+};
+
+struct SnapshotWriter {
+  void field(const std::string& key, double value);
+};
+
+class NodeLedger {
+ public:
+  void emit(TraceSink& sink) const {
+    for (const auto& [node, pods] : node_pods_) {  // line 27: hash-order events
+      sink.event("node-" + std::to_string(node), static_cast<double>(pods));
+    }
+  }
+
+  void save_state(SnapshotWriter& writer) const {
+    auto cordon = cordoned_.begin();  // line 33: first-of-hash-order is arbitrary
+    if (cordon != cordoned_.end())
+      writer.field("first_cordon", static_cast<double>(*cordon));
+    for (const auto& [node, pods] : placements_) {  // ordered mirror: clean
+      writer.field("node_" + std::to_string(node), static_cast<double>(pods));
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> node_pods_;  ///< node -> running pods
+  std::unordered_set<int> cordoned_;        ///< nodes inside a drain window
+  std::map<int, int> placements_;           ///< the deterministic idiom
+};
+
+}  // namespace corpus
