@@ -5,19 +5,22 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "transport/transport.hpp"
 
 namespace dragster::experiments {
 
 ScenarioRunner::ScenarioRunner(streamsim::Engine& engine, core::Controller& controller,
                                const ScenarioOptions& options, std::string workload_name,
                                faults::FaultInjector* injector,
-                               actuation::ActuationManager* actuation, obs::Registry* obs)
+                               actuation::ActuationManager* actuation, obs::Registry* obs,
+                               transport::TransportHarness* transport)
     : engine_(engine),
       controller_(controller),
       options_(options),
       injector_(injector),
       actuation_(actuation),
       obs_(obs),
+      transport_(transport),
       // With a manager the controller never touches the engine directly:
       // every action goes through the epoch fence and the async pod
       // lifecycle.
@@ -34,6 +37,11 @@ ScenarioRunner::ScenarioRunner(streamsim::Engine& engine, core::Controller& cont
   engine_.set_observability(obs_);
   controller_.set_observability(obs_);
   if (actuation_ != nullptr) actuation_->set_observability(obs_);
+  // The harness interposes on the control loop only; initialize() below (and
+  // crash restarts / budget preemption in step()) act on the deployment
+  // directly.
+  if (transport_ != nullptr)
+    transport_->attach(*actuator_, engine_.dag(), options_.budget, obs_);
 
   controller_.initialize(engine_.monitor(), *actuator_);
 }
@@ -42,11 +50,13 @@ ScenarioRunner::~ScenarioRunner() {
   engine_.set_observability(nullptr);
   controller_.set_observability(nullptr);
   if (actuation_ != nullptr) actuation_->set_observability(nullptr);
+  if (transport_ != nullptr) transport_->detach();
 }
 
 void ScenarioRunner::set_budget(const online::Budget& budget) {
   options_.budget = budget;
   controller_.set_budget(budget);
+  if (transport_ != nullptr) transport_->set_budget(budget);
 }
 
 void ScenarioRunner::enforce_budget() {
@@ -131,6 +141,10 @@ void ScenarioRunner::step() {
     }
   }
   enforce_budget();
+  // Transport wire clock first: command/ack copies scheduled for this slot
+  // land on the manager *before* it reconciles, mirroring how a real
+  // controller's late commands arrive ahead of the reconcile loop.
+  if (transport_ != nullptr) transport_->begin_slot(t);
   if (actuation_ != nullptr) actuation_->begin_slot();
   const streamsim::SlotReport& report = engine_.run_slot();
   if (injector_ != nullptr && injector_->consume_controller_crash()) {
@@ -139,7 +153,11 @@ void ScenarioRunner::step() {
     else
       controller_.initialize(monitor, *actuator_);  // amnesiac restart
   }
-  controller_.on_slot(monitor, *actuator_);
+  if (transport_ != nullptr)
+    transport_->control_step(controller_, streamsim::MonitorFrame::capture(engine_.monitor()),
+                             t);
+  else
+    controller_.on_slot(monitor, *actuator_);
   // Quota is also enforced on the way out: a controller that over-commands
   // (typically a restore reapplying a snapshot taken under a fatter budget)
   // is preempted synchronously, so the commanded configuration a ledger
@@ -211,8 +229,10 @@ RunResult ScenarioRunner::finish() {
 RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                        const ScenarioOptions& options, const std::string& workload_name,
                        faults::FaultInjector* injector,
-                       actuation::ActuationManager* actuation, obs::Registry* obs) {
-  ScenarioRunner runner(engine, controller, options, workload_name, injector, actuation, obs);
+                       actuation::ActuationManager* actuation, obs::Registry* obs,
+                       transport::TransportHarness* transport) {
+  ScenarioRunner runner(engine, controller, options, workload_name, injector, actuation, obs,
+                        transport);
   for (std::size_t t = 0; t < options.slots; ++t) runner.step();
   return runner.finish();
 }

@@ -21,6 +21,10 @@
 #include "resilience/supervisor.hpp"
 #include "streamsim/engine.hpp"
 
+namespace dragster::transport {
+class TransportHarness;
+}
+
 namespace dragster::experiments {
 
 struct SlotSummary {
@@ -81,7 +85,8 @@ class ScenarioRunner {
                  const ScenarioOptions& options, std::string workload_name = "",
                  faults::FaultInjector* injector = nullptr,
                  actuation::ActuationManager* actuation = nullptr,
-                 obs::Registry* obs = nullptr);
+                 obs::Registry* obs = nullptr,
+                 transport::TransportHarness* transport = nullptr);
   ~ScenarioRunner();
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
@@ -117,6 +122,7 @@ class ScenarioRunner {
   faults::FaultInjector* injector_;
   actuation::ActuationManager* actuation_;
   obs::Registry* obs_;
+  transport::TransportHarness* transport_;
   streamsim::ScalingActuator* actuator_;
   resilience::ControllerSupervisor* supervised_;
   baselines::Oracle oracle_;
@@ -146,12 +152,21 @@ class ScenarioRunner {
 /// controller (including a supervisor and whatever it wraps) all publish
 /// metrics and trace events through it for the duration of the run.
 /// Telemetry is read-only: the RunResult is bit-identical with or without it.
+/// With a `transport` harness, the control loop runs over the unreliable
+/// wire: scrapes traverse the telemetry channel (the controller sees the
+/// newest *delivered* frame, staleness-marked), commands traverse the
+/// command/ack channels with retries and idempotent dedup, and the staleness
+/// watchdog may hold or DS2-fallback during blackouts.  Null transport — or
+/// an all-zero (ideal) one — is bit-identical to today.  Platform-side
+/// actions (initialize, crash restarts, budget preemption) stay direct: they
+/// model the deployment itself, not control-plane traffic.
 [[nodiscard]] RunResult run_scenario(streamsim::Engine& engine, core::Controller& controller,
                                      const ScenarioOptions& options,
                                      const std::string& workload_name = "",
                                      faults::FaultInjector* injector = nullptr,
                                      actuation::ActuationManager* actuation = nullptr,
-                                     obs::Registry* obs = nullptr);
+                                     obs::Registry* obs = nullptr,
+                                     transport::TransportHarness* transport = nullptr);
 
 /// First slot index in [from, to) that starts `persistence` consecutive
 /// near-optimal slots AND from which at least 75% of the window's remaining

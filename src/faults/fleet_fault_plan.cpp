@@ -16,6 +16,9 @@ const char* to_string(FleetFaultKind kind) {
     case FleetFaultKind::kNodeDrain: return "nodedrain";
     case FleetFaultKind::kBudgetCut: return "budgetcut";
     case FleetFaultKind::kJobCrash: return "jobcrash";
+    case FleetFaultKind::kNetPartition: return "netpart";
+    case FleetFaultKind::kNetDrop: return "netdrop";
+    case FleetFaultKind::kNetDelay: return "netdelay";
   }
   return "unknown";
 }
@@ -27,6 +30,9 @@ FleetFaultKind kind_from_string(const std::string& word) {
   if (word == "nodedrain") return FleetFaultKind::kNodeDrain;
   if (word == "budgetcut") return FleetFaultKind::kBudgetCut;
   if (word == "jobcrash") return FleetFaultKind::kJobCrash;
+  if (word == "netpart") return FleetFaultKind::kNetPartition;
+  if (word == "netdrop") return FleetFaultKind::kNetDrop;
+  if (word == "netdelay") return FleetFaultKind::kNetDelay;
   DRAGSTER_REQUIRE(false, "unknown fleet fault kind '" + word + "'");
 }
 
@@ -52,6 +58,18 @@ void check_event(FleetFaultEvent& event) {
       // draglint:allow(DL004 0.0 is the exact value-absent sentinel, never a computed result)
       DRAGSTER_REQUIRE(event.value == 0.0, "jobcrash takes no '*value'");
       DRAGSTER_REQUIRE(event.duration_slots == 1, "jobcrash is instantaneous");
+      break;
+    case FleetFaultKind::kNetPartition:
+      // draglint:allow(DL004 0.0 is the exact value-absent sentinel, never a computed result)
+      DRAGSTER_REQUIRE(event.value == 0.0, "netpart takes no '*value'");
+      break;
+    case FleetFaultKind::kNetDrop:
+      DRAGSTER_REQUIRE(event.value > 0.0 && event.value < 1.0,
+                       "netdrop fraction must be in (0, 1)");
+      break;
+    case FleetFaultKind::kNetDelay:
+      DRAGSTER_REQUIRE(event.value >= 2.0 && event.value == std::floor(event.value),
+                       "netdelay multiplier scales whole slots: integer >= 2");
       break;
   }
 }
@@ -128,16 +146,25 @@ FleetFaultEvent parse_event(const std::string& text) {
     DRAGSTER_REQUIRE(event.value != 0.0, "explicit '*0' in fleet fault event '" + text + "'");
     DRAGSTER_REQUIRE(event.kind != FleetFaultKind::kJobCrash,
                      "jobcrash takes no '*value' in '" + text + "'");
+    DRAGSTER_REQUIRE(event.kind != FleetFaultKind::kNetPartition,
+                     "netpart takes no '*value' in '" + text + "'");
   }
   if (saw_duration) {
     const bool windowed = event.kind == FleetFaultKind::kNodeDrain ||
-                          event.kind == FleetFaultKind::kBudgetCut;
+                          event.kind == FleetFaultKind::kBudgetCut ||
+                          event.kind == FleetFaultKind::kNetPartition ||
+                          event.kind == FleetFaultKind::kNetDrop ||
+                          event.kind == FleetFaultKind::kNetDelay;
     DRAGSTER_REQUIRE(windowed, std::string(to_string(event.kind)) +
                                    " is instantaneous and takes no '+duration' in '" + text +
                                    "'");
   }
   if (event.kind == FleetFaultKind::kBudgetCut)
     DRAGSTER_REQUIRE(saw_value, "budgetcut needs an explicit '*fraction' in '" + text + "'");
+  if (event.kind == FleetFaultKind::kNetDrop)
+    DRAGSTER_REQUIRE(saw_value, "netdrop needs an explicit '*fraction' in '" + text + "'");
+  if (event.kind == FleetFaultKind::kNetDelay)
+    DRAGSTER_REQUIRE(saw_value, "netdelay needs an explicit '*multiplier' in '" + text + "'");
   check_event(event);
   return event;
 }
@@ -150,8 +177,10 @@ std::string FleetFaultEvent::to_string() const {
   if (duration_slots != 1) oss << '+' << duration_slots;
   const bool node_kind =
       kind == FleetFaultKind::kNodeCrash || kind == FleetFaultKind::kNodeDrain;
+  const bool valued_net_kind =
+      kind == FleetFaultKind::kNetDrop || kind == FleetFaultKind::kNetDelay;
   // draglint:allow(DL004 1.0 is the normalized node-count default; parse() re-normalizes it)
-  if (kind == FleetFaultKind::kBudgetCut || (node_kind && value != 1.0)) {
+  if (kind == FleetFaultKind::kBudgetCut || valued_net_kind || (node_kind && value != 1.0)) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", value);
     oss << '*' << buf;
@@ -218,6 +247,16 @@ FleetFaultPlan FleetFaultPlan::sample(common::Rng& rng, const SampleOptions& opt
           rng.uniform_int(0, static_cast<std::int64_t>(options.jobs.size()) - 1));
       events.push_back({FleetFaultKind::kJobCrash, slot, 1, 0.0, options.jobs[index]});
     }
+    // The net draws are gated on the probability so plans sampled with the
+    // pre-transport defaults consume exactly the pre-transport draw sequence
+    // (bit-identical sampled chaos for existing seeds).
+    if (options.netpart_prob > 0.0 && rng.bernoulli(options.netpart_prob))
+      events.push_back({FleetFaultKind::kNetPartition, slot, pick_window(), 0.0, ""});
+    if (options.netdrop_prob > 0.0 && rng.bernoulli(options.netdrop_prob))
+      events.push_back({FleetFaultKind::kNetDrop, slot, pick_window(), options.drop_fraction, ""});
+    if (options.netdelay_prob > 0.0 && rng.bernoulli(options.netdelay_prob))
+      events.push_back(
+          {FleetFaultKind::kNetDelay, slot, pick_window(), options.delay_multiplier, ""});
   }
   return FleetFaultPlan(std::move(events));
 }

@@ -10,6 +10,7 @@
 //   spec   := event (';' event)*
 //   event  := kind '@' slot ['+' duration] ['*' value] [':' job]
 //   kind   := 'nodecrash' | 'nodedrain' | 'budgetcut' | 'jobcrash'
+//           | 'netpart' | 'netdrop' | 'netdelay'
 //
 //   nodecrash@6          the most-loaded node dies at slot 6 (permanent)
 //   nodecrash@6*2        two nodes die at once (correlated rack loss)
@@ -20,6 +21,16 @@
 //                        (a spot-capacity reclaim / billing brownout)
 //   jobcrash@8:job-3     every pod of job-3 above its per-operator floor
 //                        dies at slot 8 (whole-job process failure)
+//   netpart@9+3          control-plane partition: every transported job's
+//                        channels eat all messages for slots 9..11
+//   netpart@9+3:job-2    the same blackout, scoped to one job
+//   netdrop@14+6*0.4     per-message loss raised to 40% for the window
+//   netdelay@20+4*3      mean control-plane delay tripled for the window
+//                        (the multiplier scales whole slots: integer >= 2)
+//
+// The net kinds act on the per-job transport::TransportHarness channels, so
+// they only make sense for jobs constructed with a transport config; the
+// scheduler rejects a plan that nets a transport-less fleet.
 //
 // Victim nodes are not named in the spec: the scheduler picks the
 // most-loaded usable node (lowest index on ties) when the event fires, so a
@@ -37,10 +48,13 @@
 namespace dragster::faults {
 
 enum class FleetFaultKind {
-  kNodeCrash,  ///< permanent loss of whole nodes (correlated pod kill)
-  kNodeDrain,  ///< nodes cordoned + emptied for a window, then uncordoned
-  kBudgetCut,  ///< global pod budget scaled down for a window
-  kJobCrash,   ///< one job loses every pod above its per-operator floor
+  kNodeCrash,     ///< permanent loss of whole nodes (correlated pod kill)
+  kNodeDrain,     ///< nodes cordoned + emptied for a window, then uncordoned
+  kBudgetCut,     ///< global pod budget scaled down for a window
+  kJobCrash,      ///< one job loses every pod above its per-operator floor
+  kNetPartition,  ///< control-plane blackout for a window (netpart)
+  kNetDrop,       ///< control-plane loss raised to a fraction (netdrop)
+  kNetDelay,      ///< control-plane mean delay multiplied (netdelay)
 };
 
 [[nodiscard]] const char* to_string(FleetFaultKind kind);
@@ -51,8 +65,12 @@ struct FleetFaultEvent {
   std::size_t duration_slots = 1;  ///< nodedrain / budgetcut window length
   /// Node crash/drain: node count (>= 1; 0 is normalized to 1).
   /// Budget cut: fraction of the budget removed, in (0, 1).
+  /// Net drop: per-message loss probability, in (0, 1).
+  /// Net delay: whole-slot delay multiplier (integer >= 2).
   double value = 0.0;
-  std::string job;                 ///< jobcrash target; empty otherwise
+  /// jobcrash target (required); net kinds: optional scope (empty = every
+  /// transported job); empty otherwise.
+  std::string job;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -87,9 +105,14 @@ class FleetFaultPlan {
     double nodedrain_prob = 0.04;
     double budgetcut_prob = 0.04;
     double jobcrash_prob = 0.0;         ///< off unless job names are given
+    double netpart_prob = 0.0;          ///< off unless the fleet is transported
+    double netdrop_prob = 0.0;
+    double netdelay_prob = 0.0;
     std::size_t max_crash_nodes = 1;    ///< total nodes sample() may kill
-    std::size_t max_window_slots = 4;   ///< drain/cut durations in [1, max]
+    std::size_t max_window_slots = 4;   ///< drain/cut/net durations in [1, max]
     double cut_fraction = 0.3;          ///< budget fraction removed per cut
+    double drop_fraction = 0.3;         ///< loss probability per netdrop
+    double delay_multiplier = 2.0;      ///< whole-slot factor per netdelay
     std::vector<std::string> jobs;      ///< jobcrash victim candidates
   };
   [[nodiscard]] static FleetFaultPlan sample(common::Rng& rng, const SampleOptions& options);

@@ -55,6 +55,7 @@ struct FleetScheduler::Job {
   std::unique_ptr<core::Controller> controller;
   std::unique_ptr<faults::FaultInjector> injector;
   std::unique_ptr<actuation::ActuationManager> manager;
+  std::unique_ptr<transport::TransportHarness> transport;  ///< per-job channels
   std::unique_ptr<experiments::ScenarioRunner> runner;  ///< destroyed first
   experiments::RunResult result;  ///< captured when the runner is retired
 };
@@ -95,6 +96,28 @@ FleetScheduler::FleetScheduler(std::vector<JobSpec> specs, FleetOptions options,
     DRAGSTER_REQUIRE(!chaos_.touches_nodes() || cluster_.nodes_enabled(),
                      "node chaos events need FleetOptions::node_count > 0");
     for (const faults::FleetFaultEvent& event : chaos_.events()) {
+      const bool net_kind = event.kind == faults::FleetFaultKind::kNetPartition ||
+                            event.kind == faults::FleetFaultKind::kNetDrop ||
+                            event.kind == faults::FleetFaultKind::kNetDelay;
+      if (net_kind) {
+        // Net chaos acts on per-job transport harnesses: a plan that nets a
+        // transport-less target is a spec bug, not a silent no-op.
+        if (event.job.empty()) {
+          bool any = false;
+          for (const auto& job : jobs_) any = any || job->spec.transported;
+          DRAGSTER_REQUIRE(any, "net chaos '" + event.to_string() +
+                                    "' needs at least one transported job");
+        } else {
+          const Job* target = nullptr;
+          for (const auto& job : jobs_)
+            if (job->spec.name == event.job) target = job.get();
+          DRAGSTER_REQUIRE(target != nullptr,
+                           "net chaos names unknown job '" + event.job + "'");
+          DRAGSTER_REQUIRE(target->spec.transported,
+                           "net chaos targets job '" + event.job + "' without transport");
+        }
+        continue;
+      }
       if (event.kind != faults::FleetFaultKind::kJobCrash) continue;
       bool known = false;
       for (const auto& job : jobs_) known = known || job->spec.name == event.job;
@@ -313,12 +336,15 @@ void FleetScheduler::construct_bundle(Job& job) {
   if (job.spec.managed)
     job.manager =
         std::make_unique<actuation::ActuationManager>(*job.engine, job.spec.actuation, seed);
+  if (job.spec.transported)
+    job.transport = std::make_unique<transport::TransportHarness>(
+        job.spec.transport, common::Rng(seed).substream("transport").next_u64());
   experiments::ScenarioOptions scenario;
   scenario.slots = options_.slots;
   scenario.budget = budget;
   job.runner = std::make_unique<experiments::ScenarioRunner>(
       *job.engine, *job.controller, scenario, job.spec.workload.name, job.injector.get(),
-      job.manager.get(), obs_);
+      job.manager.get(), obs_, job.transport.get());
   // Mirror the job's deployments into the shared ledger, job-attributed.
   for (dag::NodeId op : job.engine->dag().operators()) {
     const cluster::Deployment& d =
@@ -333,6 +359,7 @@ void FleetScheduler::destroy_bundle(Job& job, JobState final_state) {
     job.result = job.runner->finish();
     job.runner.reset();
   }
+  job.transport.reset();
   job.manager.reset();
   job.injector.reset();
   job.controller.reset();
@@ -444,6 +471,25 @@ void FleetScheduler::apply_chaos() {
             applied.pods_lost += tasks - 1;
           }
           break;
+        }
+        break;
+      case faults::FleetFaultKind::kNetPartition:
+      case faults::FleetFaultKind::kNetDrop:
+      case faults::FleetFaultKind::kNetDelay:
+        for (const auto& job : jobs_) {
+          if (!event.job.empty() && job->spec.name != event.job) continue;
+          if (job->state != JobState::kRunning || job->transport == nullptr) continue;
+          // Channel clocks run on the job's own slot index (a late arrival is
+          // offset from the fleet clock): translate the window end.  The
+          // runner has completed slots_run() slots, so this fleet slot is the
+          // job's slot slots_run().
+          const std::size_t end = job->runner->slots_run() + event.duration_slots;
+          if (event.kind == faults::FleetFaultKind::kNetPartition)
+            job->transport->inject_partition_until(end);
+          else if (event.kind == faults::FleetFaultKind::kNetDrop)
+            job->transport->inject_drop_until(event.value, end);
+          else
+            job->transport->inject_delay_until(event.value, end);
         }
         break;
     }

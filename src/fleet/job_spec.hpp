@@ -13,6 +13,7 @@
 #include "core/controller.hpp"
 #include "online/budget.hpp"
 #include "streamsim/engine.hpp"
+#include "transport/transport.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dragster::fleet {
@@ -43,6 +44,10 @@ struct JobSpec {
   /// Route scaling actions through an actuation::ActuationManager.
   bool managed = false;
   actuation::ActuationOptions actuation;
+  /// Run the control loop over an unreliable transport::TransportHarness
+  /// (per-job channels; the `net*` fleet chaos kinds act on them).
+  bool transported = false;
+  transport::TransportOptions transport;
   /// Chaos grammar (faults::FaultPlan::parse); empty = fault-free.
   std::string fault_plan;
   streamsim::EngineOptions engine;

@@ -94,6 +94,10 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       // (node_map.cpp line 36, the ordered std::map mirror, must NOT fire)
       {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
       {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
+      {"transport_retry.cpp", 28, "DL001"},  // rand()-backed retry backoff
+      {"transport_retry.cpp", 32, "DL001"},  // wall-clock retry jitter seed
+      {"transport_retry.cpp", 41, "DL005"},  // channel retry counter saved, never read
+      {"transport_retry.cpp", 47, "DL005"},  // ...and read under a different key
       {"throw_type.cpp", 13, "DL003"},       // std::runtime_error
       {"throw_type.cpp", 17, "DL003"},       // ad-hoc local type
       {"throw_type.cpp", 21, "DL003"},       // std::logic_error

@@ -605,6 +605,93 @@ TEST(FleetFaultPlan, RejectsMalformedSpecs) {
                std::invalid_argument);  // duplicate (kind, slot, job)
 }
 
+TEST(FleetFaultPlan, ParsesNetKindsAndRoundTrips) {
+  const FleetFaultPlan plan = FleetFaultPlan::parse(
+      "netdelay@20+4*3;netpart@9+3;netdrop@14+6*0.4;netpart@9+3:job-2");
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.events()[0].kind, FleetFaultKind::kNetPartition);
+  EXPECT_EQ(plan.events()[0].slot, 9u);
+  EXPECT_EQ(plan.events()[0].duration_slots, 3u);
+  EXPECT_TRUE(plan.events()[0].job.empty());  // unscoped = every transported job
+  EXPECT_EQ(plan.events()[1].kind, FleetFaultKind::kNetPartition);
+  EXPECT_EQ(plan.events()[1].job, "job-2");
+  EXPECT_EQ(plan.events()[2].kind, FleetFaultKind::kNetDrop);
+  EXPECT_DOUBLE_EQ(plan.events()[2].value, 0.4);
+  EXPECT_EQ(plan.events()[3].kind, FleetFaultKind::kNetDelay);
+  EXPECT_DOUBLE_EQ(plan.events()[3].value, 3.0);
+  // Net kinds act on per-job channels, not the fault-domain node model.
+  EXPECT_FALSE(plan.touches_nodes());
+  EXPECT_EQ(plan.to_string(), "netpart@9+3;netpart@9+3:job-2;netdrop@14+6*0.4;netdelay@20+4*3");
+  EXPECT_EQ(FleetFaultPlan::parse(plan.to_string()).to_string(), plan.to_string());
+}
+
+TEST(FleetFaultPlan, RejectsMalformedNetEvents) {
+  EXPECT_THROW(FleetFaultPlan::parse("netpart@3+2*0.5"), std::invalid_argument);  // no *value
+  EXPECT_THROW(FleetFaultPlan::parse("netdrop@3+2"), std::invalid_argument);   // needs *fraction
+  EXPECT_THROW(FleetFaultPlan::parse("netdrop@3+2*1.2"),
+               std::invalid_argument);  // fraction not in (0,1)
+  EXPECT_THROW(FleetFaultPlan::parse("netdrop@3+2*0"), std::invalid_argument);   // explicit *0
+  EXPECT_THROW(FleetFaultPlan::parse("netdelay@3+2"), std::invalid_argument);  // needs *multiplier
+  EXPECT_THROW(FleetFaultPlan::parse("netdelay@3+2*1"),
+               std::invalid_argument);  // multiplier below 2 is a no-op, not a fault
+  EXPECT_THROW(FleetFaultPlan::parse("netdelay@3+2*2.5"),
+               std::invalid_argument);  // multiplier scales whole slots: integral only
+  EXPECT_THROW(FleetFaultPlan::parse("netpart@4+2;netpart@4+2"),
+               std::invalid_argument);  // duplicate (kind, slot, job) window
+  EXPECT_THROW(FleetFaultPlan::parse("netpart@4+2+3"),
+               std::invalid_argument);  // repeated modifier
+  // Same slot, different scope, is a legal correlated blackout.
+  EXPECT_EQ(FleetFaultPlan::parse("netpart@4+2;netpart@4+2:job-1").size(), 2u);
+}
+
+TEST(FleetFaultPlan, SamplesNetKindsDeterministicallyAndGatedOffByDefault) {
+  // Defaults keep every net probability at zero: the sampled plan must not
+  // contain net events (and the gated draws leave pre-transport sequences
+  // untouched).
+  FleetFaultPlan::SampleOptions off;
+  off.horizon_slots = 40;
+  off.nodedrain_prob = 0.2;
+  off.budgetcut_prob = 0.2;
+  common::Rng rng0(7);
+  const FleetFaultPlan gated = FleetFaultPlan::sample(rng0, off);
+  for (const FleetFaultEvent& event : gated.events()) {
+    EXPECT_NE(event.kind, FleetFaultKind::kNetPartition);
+    EXPECT_NE(event.kind, FleetFaultKind::kNetDrop);
+    EXPECT_NE(event.kind, FleetFaultKind::kNetDelay);
+  }
+
+  FleetFaultPlan::SampleOptions options;
+  options.horizon_slots = 60;
+  options.netpart_prob = 0.15;
+  options.netdrop_prob = 0.15;
+  options.netdelay_prob = 0.15;
+  options.drop_fraction = 0.25;
+  options.delay_multiplier = 3.0;
+  common::Rng rng1(9);
+  common::Rng rng2(9);
+  const FleetFaultPlan p1 = FleetFaultPlan::sample(rng1, options);
+  const FleetFaultPlan p2 = FleetFaultPlan::sample(rng2, options);
+  EXPECT_EQ(p1.to_string(), p2.to_string());
+  // Sampled specs are valid specs: the round trip re-validates every value.
+  EXPECT_EQ(FleetFaultPlan::parse(p1.to_string()).to_string(), p1.to_string());
+  bool saw_net = false;
+  for (const FleetFaultEvent& event : p1.events()) {
+    if (event.kind == FleetFaultKind::kNetDrop) {
+      EXPECT_DOUBLE_EQ(event.value, 0.25);
+    }
+    if (event.kind == FleetFaultKind::kNetDelay) {
+      EXPECT_DOUBLE_EQ(event.value, 3.0);
+    }
+    if (event.kind == FleetFaultKind::kNetPartition || event.kind == FleetFaultKind::kNetDrop ||
+        event.kind == FleetFaultKind::kNetDelay) {
+      saw_net = true;
+      EXPECT_GE(event.duration_slots, 1u);
+      EXPECT_LE(event.duration_slots, options.max_window_slots);
+    }
+  }
+  EXPECT_TRUE(saw_net);
+}
+
 TEST(FleetFaultPlan, SampleIsDeterministicRespectsWarmupAndCrashCap) {
   FleetFaultPlan::SampleOptions options;
   options.horizon_slots = 40;

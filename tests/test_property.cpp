@@ -29,6 +29,7 @@
 #include "obs/trace.hpp"
 #include "resilience/snapshot.hpp"
 #include "resilience/supervisor.hpp"
+#include "transport/transport.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dragster {
@@ -347,6 +348,230 @@ TEST(PropertySweep, FleetChaosScenariosUpholdFleetInvariants) {
   // The sweep actually exercised what it claims to cover.
   EXPECT_GE(chaotic_runs, kFleetScenarios / 2);
   EXPECT_GE(shed_runs, 1u);
+}
+
+TEST(PropertySweep, TransportChaosScenariosUpholdInvariants) {
+  // Unreliable-control-plane sweep: each scenario samples a transport config
+  // (lossy telemetry, lossy or clean command/ack wires, a scheduled
+  // partition, randomized watchdog thresholds) and runs the full scenario
+  // loop over it, half the time with the actuation layer in play so
+  // transport delivery retries compose with epoch admission retries.  The
+  // standing invariants hold under every sampled wire:
+  //   * every issued actuation epoch terminates exactly once,
+  //   * operator backlog is never negative,
+  //   * with a limited budget and a clean synchronous command path the
+  //     deployed allocation never exceeds sum x_i <= B (a lossy command wire
+  //     inherits the async-actuation carve-out: interleaved old/new epochs
+  //     may transiently overshoot),
+  //   * the same seed reproduces the run bit-for-bit.
+  constexpr std::size_t kTransportScenarios = 10;
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  std::size_t partitioned_runs = 0, lossy_command_runs = 0, managed_runs = 0;
+
+  for (std::size_t i = 0; i < kTransportScenarios; ++i) {
+    SCOPED_TRACE("transport scenario " + std::to_string(i));
+    common::Rng rng(0x7A4057 + i);
+    const std::uint64_t seed = rng.next_u64();
+    const auto slots = static_cast<std::size_t>(rng.uniform_int(10, 14));
+    const bool managed = rng.uniform() < 0.5;
+    const bool limited = rng.uniform() < 0.4;
+    const online::Budget budget =
+        limited ? online::Budget(0.10 * static_cast<double>(rng.uniform_int(6, 14)), 0.10)
+                : online::Budget::unlimited(0.10);
+
+    transport::TransportOptions topts;
+    topts.telemetry.drop_prob = rng.uniform(0.0, 0.4);
+    topts.telemetry.duplicate_prob = rng.uniform(0.0, 0.3);
+    topts.telemetry.delay_mean_slots = rng.uniform(0.0, 1.5);
+    topts.telemetry.delay_jitter = 0.5;
+    topts.telemetry.reorder_window_slots = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const bool partitioned = rng.uniform() < 0.5;
+    if (partitioned) {
+      const auto start = static_cast<std::size_t>(rng.uniform_int(3, 6));
+      topts.telemetry.partitions.push_back(
+          {start, static_cast<std::size_t>(rng.uniform_int(2, 4))});
+    }
+    const bool lossy_command = rng.uniform() < 0.5;
+    if (lossy_command) {
+      topts.command.drop_prob = rng.uniform(0.0, 0.3);
+      topts.command.duplicate_prob = rng.uniform(0.0, 0.3);
+      topts.command.delay_mean_slots = rng.uniform(0.0, 1.0);
+      topts.ack.drop_prob = rng.uniform(0.0, 0.3);
+    }
+    topts.guard.open_after_misses = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    topts.guard.rule_fallback_after = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    partitioned_runs += partitioned ? 1 : 0;
+    lossy_command_runs += lossy_command ? 1 : 0;
+    managed_runs += managed ? 1 : 0;
+
+    const std::uint64_t wire_seed = rng.substream("wire").next_u64();
+    actuation::ActuationOptions aopts;
+    aopts.sched_latency_mean_slots = 1.0;
+    aopts.deadline_slots = 3;
+    core::DragsterOptions dopts;
+    dopts.budget = budget;
+    experiments::ScenarioOptions options;
+    options.slots = slots;
+    options.budget = budget;
+
+    streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+    std::optional<actuation::ActuationManager> manager;
+    if (managed) manager.emplace(engine, aopts, seed);
+    core::DragsterController controller(dopts);
+    transport::TransportHarness harness(topts, wire_seed);
+    obs::Registry registry;
+    obs::MemoryTraceSink sink;
+    registry.set_trace(&sink);
+    const experiments::RunResult run =
+        experiments::run_scenario(engine, controller, options, spec.name, nullptr,
+                                  manager ? &*manager : nullptr, &registry, &harness);
+
+    // -- epoch lifecycle: transport retries never double-terminate ----------
+    if (manager) expect_epochs_terminate_once(*manager);
+
+    // -- backlog, straight from the trace stream ----------------------------
+    const std::vector<double> backlogs = trace_values(sink.str(), "backlog");
+    ASSERT_EQ(backlogs.size(), slots * spec.dag.operators().size());
+    for (double backlog : backlogs) EXPECT_GE(backlog, 0.0);
+
+    // -- budget -------------------------------------------------------------
+    for (const experiments::SlotSummary& slot : run.slots) {
+      SCOPED_TRACE("slot " + std::to_string(slot.slot));
+      std::size_t total = 0;
+      for (int tasks : slot.tasks) {
+        EXPECT_GE(tasks, 1);
+        total += static_cast<std::size_t>(tasks);
+      }
+      if (budget.limited() && !managed && !lossy_command) {
+        EXPECT_LE(total, budget.max_total_tasks());
+      }
+    }
+
+    // -- same seed, same bytes ----------------------------------------------
+    streamsim::Engine engine2 = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+    std::optional<actuation::ActuationManager> manager2;
+    if (managed) manager2.emplace(engine2, aopts, seed);
+    core::DragsterController controller2(dopts);
+    transport::TransportHarness harness2(topts, wire_seed);
+    const experiments::RunResult rerun =
+        experiments::run_scenario(engine2, controller2, options, spec.name, nullptr,
+                                  manager2 ? &*manager2 : nullptr, nullptr, &harness2);
+    ASSERT_EQ(run.slots.size(), rerun.slots.size());
+    EXPECT_EQ(bits(run.total_tuples), bits(rerun.total_tuples));
+    EXPECT_EQ(bits(run.total_cost), bits(rerun.total_cost));
+  }
+
+  EXPECT_GE(partitioned_runs, 2u);
+  EXPECT_GE(lossy_command_runs, 2u);
+  EXPECT_GE(managed_runs, 2u);
+}
+
+TEST(PropertySweep, CircuitOpenFreezesGpObservations) {
+  // The breaker's whole point: while the circuit is open the inner
+  // controller is never fed, so its per-operator GPs gain no observations
+  // during a blackout — no learning from dead air — and resume once the
+  // partition heals and the circuit recloses.
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, 31);
+  core::DragsterController controller(core::DragsterOptions{});
+
+  transport::TransportOptions topts;
+  topts.telemetry.partitions.push_back({4, 6});  // blackout slots 4..9
+  topts.guard.open_after_misses = 2;
+  transport::TransportHarness harness(topts, 77);
+  harness.attach(engine, engine.dag(), online::Budget::unlimited(0.10), nullptr);
+  controller.initialize(engine.monitor(), engine);
+
+  auto gp_observations = [&] {
+    std::size_t total = 0;
+    for (dag::NodeId op : engine.dag().operators()) {
+      const gp::GaussianProcess* gp = controller.gp_for(op);
+      if (gp != nullptr) total += gp->num_observations();
+    }
+    return total;
+  };
+
+  std::size_t open_slots = 0;
+  for (std::size_t t = 0; t < 16; ++t) {
+    harness.begin_slot(t);
+    (void)engine.run_slot();
+    const std::size_t before = gp_observations();
+    harness.control_step(controller, streamsim::MonitorFrame::capture(engine.monitor()), t);
+    if (harness.breaker() == transport::BreakerState::kOpen) {
+      ++open_slots;
+      EXPECT_EQ(gp_observations(), before) << "GP learned during blackout, slot " << t;
+    }
+  }
+  ASSERT_GE(open_slots, 3u);  // the sweep actually exercised an open circuit
+  // Learning resumed after the heal: the closed tail added observations.
+  EXPECT_EQ(harness.breaker(), transport::BreakerState::kClosed);
+  EXPECT_GT(gp_observations(), 0u);
+}
+
+TEST(PropertySweep, TransportMidBlackoutSnapshotRestoreIsBitIdentical) {
+  // Snapshot the controller *and* the transport harness in the middle of a
+  // partition — breaker open, retries in flight, frames queued — restore
+  // both into fresh objects, and finish the run with them.  The trajectory
+  // must match the uninterrupted run to the bit: transport state is plain
+  // values all the way down.
+  const workloads::WorkloadSpec spec = workloads::wordcount();
+  for (std::uint64_t seed : {5u, 19u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::size_t slots = 14;
+    const std::size_t cut = 6;  // inside the partition window below
+
+    transport::TransportOptions topts;
+    topts.telemetry.drop_prob = 0.2;
+    topts.telemetry.delay_mean_slots = 0.5;
+    topts.telemetry.partitions.push_back({4, 5});  // blackout slots 4..8
+    topts.command.drop_prob = 0.2;
+    topts.command.delay_mean_slots = 0.5;
+    topts.ack.drop_prob = 0.2;
+    topts.guard.open_after_misses = 2;
+
+    auto drive = [&](bool restore_at_cut) {
+      streamsim::Engine engine = spec.make_engine(true, streamsim::EngineOptions{}, seed);
+      auto controller = std::make_unique<core::DragsterController>(core::DragsterOptions{});
+      auto harness = std::make_unique<transport::TransportHarness>(topts, seed);
+      harness->attach(engine, engine.dag(), online::Budget::unlimited(0.10), nullptr);
+      controller->initialize(engine.monitor(), engine);
+      std::vector<double> series;
+      for (std::size_t t = 0; t < slots; ++t) {
+        if (restore_at_cut && t == cut) {
+          resilience::SnapshotWriter ctrl_writer, wire_writer;
+          controller->save_state(ctrl_writer);
+          harness->save_state(wire_writer);
+          auto restored_ctrl =
+              std::make_unique<core::DragsterController>(core::DragsterOptions{});
+          restored_ctrl->initialize(engine.monitor(), engine);
+          resilience::SnapshotReader ctrl_reader(ctrl_writer.str());
+          restored_ctrl->load_state(ctrl_reader);
+          controller = std::move(restored_ctrl);
+          auto restored_wire = std::make_unique<transport::TransportHarness>(topts, seed);
+          restored_wire->attach(engine, engine.dag(), online::Budget::unlimited(0.10), nullptr);
+          resilience::SnapshotReader wire_reader(wire_writer.str());
+          restored_wire->load_state(wire_reader);
+          harness = std::move(restored_wire);
+        }
+        harness->begin_slot(t);
+        const streamsim::SlotReport& report = engine.run_slot();
+        harness->control_step(*controller,
+                              streamsim::MonitorFrame::capture(engine.monitor()), t);
+        series.push_back(report.throughput_rate);
+        series.push_back(report.tuples_processed);
+        series.push_back(report.cost);
+        series.push_back(static_cast<double>(harness->stats().frames_delivered));
+        series.push_back(static_cast<double>(harness->stats().command_sends));
+      }
+      return series;
+    };
+
+    const std::vector<double> reference = drive(false);
+    const std::vector<double> restored = drive(true);
+    ASSERT_EQ(reference.size(), restored.size());
+    for (std::size_t k = 0; k < reference.size(); ++k)
+      EXPECT_EQ(bits(reference[k]), bits(restored[k])) << "sample " << k;
+  }
 }
 
 }  // namespace

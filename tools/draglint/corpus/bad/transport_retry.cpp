@@ -1,0 +1,58 @@
+// DL001 + DL005 corpus: the transport retry idiom done wrong.  Backoff
+// jitter drawn from ambient entropy makes the slot every retransmission
+// lands in irreproducible, and a channel snapshot whose load keys disagree
+// with its save keys loses the wire state mid-blackout.
+// This file is lint corpus only — it is never compiled or linked.
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void begin_section(const std::string& name);
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  void enter_section(const std::string& name);
+  double get_double(const std::string& key) const;
+};
+
+// Retry backoff from the process RNG: two same-seed runs disagree on when a
+// command is retransmitted, so the whole fate schedule diverges.
+class RetryTimer {
+ public:
+  int backoff_slots(int attempt) {
+    const int base = 1 << attempt;
+    return base + rand() % base;  // line 28: ambient jitter
+  }
+
+  long long jitter_seed() {
+    return static_cast<long long>(time(nullptr));  // line 32: wall-clock seed
+  }
+};
+
+// Channel snapshot with mismatched keys: "seq" round-trips, but the
+// in-flight retry counter is saved under one name and restored under
+// another — the restore throws and the saved value is lost either way.
+class Channel {
+ public:
+  void save_state(SnapshotWriter& writer) const {  // line 41: retry_attempt lost
+    writer.begin_section("channel");
+    writer.field("seq", seq_);
+    writer.field("retry_attempt", attempt_);
+  }
+
+  void load_state(SnapshotReader& reader) {  // line 47: attempt never saved
+    reader.enter_section("channel");
+    seq_ = reader.get_double("seq");
+    attempt_ = reader.get_double("attempt");
+  }
+
+ private:
+  double seq_ = 0.0;
+  double attempt_ = 0.0;
+};
+
+}  // namespace corpus

@@ -1,0 +1,62 @@
+// Clean transport retry idiom: backoff jitter comes from a counter-based
+// substream keyed by the message sequence number, so a replay regenerates
+// the exact retransmission schedule, and the channel snapshot restores
+// precisely the keys it saves.
+// This file is lint corpus only — it is never compiled or linked.
+#include <cstdint>
+#include <string>
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void begin_section(const std::string& name);
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  void enter_section(const std::string& name);
+  double get_double(const std::string& key) const;
+};
+
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+  Rng substream(const std::string& label) const;
+  std::uint64_t next_u64();
+};
+
+// Jitter is a pure function of (seed, seq, attempt): deterministic.
+class RetryTimer {
+ public:
+  explicit RetryTimer(std::uint64_t seed) : seed_(seed) {}
+
+  int backoff_slots(std::uint64_t seq, int attempt) const {
+    Rng draw = Rng(seed_).substream("retry/" + std::to_string(seq));
+    const auto base = static_cast<std::uint64_t>(1) << attempt;
+    return static_cast<int>(base + draw.next_u64() % base);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+// Balanced channel snapshot: every saved key is restored and vice versa.
+class Channel {
+ public:
+  void save_state(SnapshotWriter& writer) const {
+    writer.begin_section("channel");
+    writer.field("seq", seq_);
+    writer.field("attempt", attempt_);
+  }
+
+  void load_state(SnapshotReader& reader) {
+    reader.enter_section("channel");
+    seq_ = reader.get_double("seq");
+    attempt_ = reader.get_double("attempt");
+  }
+
+ private:
+  double seq_ = 0.0;
+  double attempt_ = 0.0;
+};
+
+}  // namespace corpus
