@@ -15,9 +15,34 @@
 #include "core/dragster_controller.hpp"
 #include "experiments/scenario.hpp"
 #include "obs/registry.hpp"
+#include "parallel/task_pool.hpp"
 #include "workloads/workloads.hpp"
 
 namespace dragster::bench {
+
+/// Applies the `--threads N` knob to the process-wide TaskPool (absent flag:
+/// leave the DRAGSTER_THREADS / serial default untouched).  Call once, before
+/// the first sweep.
+inline void configure_threads(const common::Flags& flags) {
+  const std::int64_t threads = flags.get("threads", static_cast<std::int64_t>(-1));
+  if (threads >= 0) parallel::TaskPool::set_global_threads(static_cast<std::size_t>(threads));
+}
+
+/// Index-ordered seed/arm sweep.  Every cell commits to its own slot BEFORE
+/// any aggregation happens, so aggregate stats fold in cell-index order no
+/// matter which thread finished first — accumulating into shared sums from
+/// inside the loop body would tie the result bytes to completion order the
+/// moment the sweep fans out.  Serial pools run the cells inline in index
+/// order, bit-identical to the plain loop this replaces.
+template <typename Result, typename Fn>
+[[nodiscard]] std::vector<Result> sweep_indexed(std::size_t cells, Fn&& fn) {
+  parallel::TaskPool& pool = parallel::TaskPool::global();
+  if (pool.threads() > 1 && !parallel::TaskPool::in_worker())
+    return pool.map<Result>(cells, std::forward<Fn>(fn));
+  std::vector<Result> out(cells);
+  for (std::size_t i = 0; i < cells; ++i) out[i] = fn(i);
+  return out;
+}
 
 /// Optional telemetry for any figure binary: `--trace-jsonl run.jsonl`
 /// streams the structured per-slot trace, `--metrics metrics.prom` dumps the

@@ -25,7 +25,7 @@
 // runs emit byte-identical JSON (the CI determinism gate diffs two runs).
 //
 //   ./fig11_fleet [--sizes 10,100,1000] [--slots 16] [--seed 7]
-//                 [--json BENCH_fig11.json] [--max-slot-ms 0]
+//                 [--json BENCH_fig11.json] [--max-slot-ms 0] [--threads 0]
 //                 [--trace-jsonl run.jsonl] [--metrics metrics.prom]
 //
 // --max-slot-ms N makes the exit code additionally assert that no fleet
@@ -147,6 +147,10 @@ int main(int argc, char** argv) {
   const std::string json_path = flags.get("json", std::string("BENCH_fig11.json"));
   const double max_slot_ms = flags.get("max-slot-ms", 0.0);
   bench::Observability obs(flags);
+  // Job stepping fans out across pool lanes; the JSON carries only simulated
+  // quantities, so the bytes are invariant to the thread count (the CI gate
+  // cmp's a --threads 8 run against the serial one).
+  bench::configure_threads(flags);
 
   bench::print_header("Figure 11: fleet cross-job allocation", seed);
   std::printf("%zu slots per sweep, arms: static vs arbiter\n\n", slots);

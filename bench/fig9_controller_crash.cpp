@@ -95,6 +95,7 @@ int main(int argc, char** argv) {
   const auto seed0 = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{17}));
   const std::string json_path = flags.get("json", std::string("BENCH_fig9.json"));
   bench::Observability obs(flags);
+  bench::configure_threads(flags);
 
   bench::print_header("Figure 9: controller crash recovery on WordCount", seed0);
   std::printf("crash at slot %zu, rate step at slot %zu, %zu seeds\n\n", crash_slot,
@@ -105,43 +106,62 @@ int main(int argc, char** argv) {
     return std::make_unique<core::DragsterController>(core::DragsterOptions{});
   };
 
-  std::vector<Arm> arms;
-  for (std::size_t s = 0; s < num_seeds; ++s) {
+  // One sweep cell per seed, committed by cell index; the arms list below is
+  // assembled from the committed cells in index order, so the table and JSON
+  // bytes are invariant to how many pool lanes ran the sweep.  Telemetry
+  // pins the sweep serial: the registry is one shared sink.
+  struct SeedArms {
+    Arm base, snap, cold;
+  };
+  auto run_seed = [&](std::size_t s) {
     const std::uint64_t seed = seed0 + s;
+    SeedArms cell;
 
-    Arm base{"no-crash", seed, {}, std::nullopt, 0.0};
+    cell.base = Arm{"no-crash", seed, {}, std::nullopt, 0.0};
     {
       resilience::ControllerSupervisor controller(make_dragster(),
                                                   resilience::SupervisorOptions{});
-      base.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/false,
-                         obs.registry());
+      cell.base.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/false,
+                              obs.registry());
     }
 
-    Arm snap{"snapshot", seed, {}, std::nullopt, 0.0};
+    cell.snap = Arm{"snapshot", seed, {}, std::nullopt, 0.0};
     {
       resilience::SupervisorOptions options;
       options.snapshot_every = 3;
       resilience::ControllerSupervisor controller(make_dragster(), options);
-      snap.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
-                         obs.registry());
+      cell.snap.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
+                              obs.registry());
     }
 
-    Arm cold{"cold-restart", seed, {}, std::nullopt, 0.0};
+    cell.cold = Arm{"cold-restart", seed, {}, std::nullopt, 0.0};
     {
       resilience::SupervisorOptions options;
       options.enable_snapshots = false;
       options.cold_factory = make_dragster;
       resilience::ControllerSupervisor controller(make_dragster(), options);
-      cold.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
-                         obs.registry());
+      cell.cold.run = run_arm(spec, seed, slots, crash_slot, controller, /*crash=*/true,
+                              obs.registry());
     }
 
-    score(base, base.run, crash_slot);
-    score(snap, base.run, crash_slot);
-    score(cold, base.run, crash_slot);
-    arms.push_back(std::move(base));
-    arms.push_back(std::move(snap));
-    arms.push_back(std::move(cold));
+    score(cell.base, cell.base.run, crash_slot);
+    score(cell.snap, cell.base.run, crash_slot);
+    score(cell.cold, cell.base.run, crash_slot);
+    return cell;
+  };
+  std::vector<SeedArms> cells;
+  if (obs.registry() != nullptr) {
+    cells.reserve(num_seeds);
+    for (std::size_t s = 0; s < num_seeds; ++s) cells.push_back(run_seed(s));
+  } else {
+    cells = bench::sweep_indexed<SeedArms>(num_seeds, run_seed);
+  }
+  std::vector<Arm> arms;
+  arms.reserve(cells.size() * 3);
+  for (SeedArms& cell : cells) {
+    arms.push_back(std::move(cell.base));
+    arms.push_back(std::move(cell.snap));
+    arms.push_back(std::move(cell.cold));
   }
 
   common::Table table({"arm", "seed", "recovery (slots)", "post-crash tuples (1e9)",

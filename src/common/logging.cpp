@@ -8,6 +8,7 @@ namespace dragster::common {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// draglint:allow(DL006 stderr interleaving guard, not a parallelism primitive)
 std::mutex g_write_mutex;
 
 const char* level_name(LogLevel level) noexcept {
@@ -29,6 +30,7 @@ LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); 
 
 void log_line(LogLevel level, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
+  // draglint:allow(DL006 stderr interleaving guard, not a parallelism primitive)
   std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "cluster/pricing.hpp"
 #include "common/error.hpp"
 #include "obs/registry.hpp"
+#include "parallel/task_pool.hpp"
 
 namespace dragster::core {
 
@@ -91,10 +93,16 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
   const streamsim::SlotReport& report = monitor.last_report();
   const std::size_t n = dag_->node_count();
 
-  for (dag::NodeId id = 0; id < n; ++id) {
-    if (dag_->component(id).kind != dag::ComponentKind::kOperator) continue;
+  // Per-operator GP update + posterior refresh.  Each operator owns its
+  // model and its y_est_ slot, so the loop is independence-safe; map entries
+  // are created serially up front because std::map insertion is not.  A pool
+  // of size 1 (the default) runs the identical serial loop.
+  const std::vector<dag::NodeId> ops = dag_->operators();
+  for (dag::NodeId id : ops) models_[id];
+  auto update_operator = [&](std::size_t idx) {
+    const dag::NodeId id = ops[idx];
     const streamsim::OperatorMetrics& m = report.per_node[id];
-    OperatorModel& model = models_[id];
+    OperatorModel& model = models_.find(id)->second;
 
     // GP input: (tasks) for horizontal-only, (tasks, cpu) with VPA enabled.
     std::vector<double> deployed{static_cast<double>(m.tasks)};
@@ -127,7 +135,12 @@ void DragsterController::observe(const streamsim::JobMonitor& monitor) {
     } else {
       y_est_[id] = std::max(y_est_[id], 1.0);
     }
-  }
+  };
+  parallel::TaskPool& pool = parallel::TaskPool::global();
+  if (pool.threads() > 1 && !parallel::TaskPool::in_worker())
+    pool.for_each(ops.size(), update_operator);
+  else
+    for (std::size_t idx = 0; idx < ops.size(); ++idx) update_operator(idx);
 
   // Theorem 2 mode: refine the throughput-function parameters from the
   // observed per-edge flows (excluding capacity-truncated operators).
@@ -281,6 +294,22 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
     gp::Posterior best_post;
     bool any_feasible = false;
     bool projection_active = false;
+
+    // Enumerate feasible candidates in the exact (cpu outer, tasks inner)
+    // order the scalar loop used, score them with batched posteriors —
+    // chunks fanned out over the pool, each committed to its own slot —
+    // then fold serially with the strict first-max rule.  Posterior bits and
+    // tie-breaks are identical to the scalar loop, so golden traces hold at
+    // any thread count.
+    struct Candidate {
+      cluster::PodSpec spec;
+      int tasks = 0;
+    };
+    const std::size_t gp_dim = options_.enable_vertical ? 2 : 1;
+    std::vector<Candidate> cands;
+    std::vector<double> xs;
+    cands.reserve(cpu_options.size() * static_cast<std::size_t>(max_tasks));
+    xs.reserve(cands.capacity() * gp_dim);
     for (double cpu : cpu_options) {
       const cluster::PodSpec spec =
           options_.enable_vertical
@@ -294,20 +323,38 @@ void DragsterController::select_configs(const streamsim::JobMonitor& monitor,
           continue;
         }
         any_feasible = true;
-        std::vector<double> x{static_cast<double>(tasks)};
-        if (options_.enable_vertical) x.push_back(spec.cpu_cores);
-        const gp::Posterior post = model.gp->predict(x);
-        // Asymmetric extended UCB (eq. 18 + one-sided constraint weighting).
-        const double gap = post.mean - target;
-        const double penalty =
-            gap < 0.0 ? options_.under_provision_penalty * -gap : gap;
-        const double score = -penalty + beta * post.variance;
-        if (score > best_score) {
-          best_score = score;
-          best_post = post;
-          new_tasks = tasks;
-          new_spec = spec;
-        }
+        cands.push_back({spec, tasks});
+        xs.push_back(static_cast<double>(tasks));
+        if (options_.enable_vertical) xs.push_back(spec.cpu_cores);
+      }
+    }
+    std::vector<gp::Posterior> posts(cands.size());
+    if (!cands.empty()) {
+      constexpr std::size_t kChunk = 64;
+      const std::size_t chunks = (cands.size() + kChunk - 1) / kChunk;
+      auto score_chunk = [&](std::size_t c) {
+        const std::size_t begin = c * kChunk;
+        const std::size_t len = std::min(kChunk, cands.size() - begin);
+        model.gp->predict_batch(std::span<const double>(xs).subspan(begin * gp_dim, len * gp_dim),
+                                len, std::span<gp::Posterior>(posts).subspan(begin, len));
+      };
+      parallel::TaskPool& pool = parallel::TaskPool::global();
+      if (chunks > 1 && pool.threads() > 1 && !parallel::TaskPool::in_worker())
+        pool.for_each(chunks, score_chunk);
+      else
+        for (std::size_t c = 0; c < chunks; ++c) score_chunk(c);
+    }
+    for (std::size_t c = 0; c < cands.size(); ++c) {
+      const gp::Posterior post = posts[c];
+      // Asymmetric extended UCB (eq. 18 + one-sided constraint weighting).
+      const double gap = post.mean - target;
+      const double penalty = gap < 0.0 ? options_.under_provision_penalty * -gap : gap;
+      const double score = -penalty + beta * post.variance;
+      if (score > best_score) {
+        best_score = score;
+        best_post = post;
+        new_tasks = cands[c].tasks;
+        new_spec = cands[c].spec;
       }
     }
     if (obs_ != nullptr && any_feasible)

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 
 #include "common/error.hpp"
+#include "parallel/task_pool.hpp"
 #include "transport/transport.hpp"
 
 namespace dragster::experiments {
@@ -283,29 +283,10 @@ PhaseStats analyze_phase(const RunResult& run, std::size_t from, std::size_t to,
 }
 
 std::vector<RunResult> run_parallel(std::vector<std::function<RunResult()>> jobs) {
-  std::vector<RunResult> results(jobs.size());
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min<std::size_t>(std::thread::hardware_concurrency(),
-                                                     jobs.size()));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) results[i] = jobs[i]();
-    return results;
-  }
-  std::atomic<std::size_t> next{0};
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&]() {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= jobs.size()) return;
-          results[i] = jobs[i]();
-        }
-      });
-    }
-  }
-  return results;
+  // Transient pool, one lane per core: each job commits to its own indexed
+  // slot, so the output order never depends on completion order.
+  parallel::TaskPool pool(parallel::TaskPool::hardware_threads(jobs.size()));
+  return pool.map<RunResult>(jobs.size(), [&](std::size_t i) { return jobs[i](); });
 }
 
 }  // namespace dragster::experiments

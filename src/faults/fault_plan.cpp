@@ -34,6 +34,7 @@ FaultKind kind_from_string(const std::string& word) {
   if (word == "schedfail") return FaultKind::kSchedulerOutage;
   if (word == "scheddelay") return FaultKind::kSchedulerDelay;
   DRAGSTER_REQUIRE(false, "unknown fault kind '" + word + "'");
+  return FaultKind::kPodCrash;  // unreachable: the REQUIRE above throws
 }
 
 void check_event(FaultEvent& event) {

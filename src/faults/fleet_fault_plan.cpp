@@ -34,6 +34,7 @@ FleetFaultKind kind_from_string(const std::string& word) {
   if (word == "netdrop") return FleetFaultKind::kNetDrop;
   if (word == "netdelay") return FleetFaultKind::kNetDelay;
   DRAGSTER_REQUIRE(false, "unknown fleet fault kind '" + word + "'");
+  return FleetFaultKind::kNodeCrash;  // unreachable: the REQUIRE above throws
 }
 
 void check_event(FleetFaultEvent& event) {

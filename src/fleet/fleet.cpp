@@ -9,6 +9,7 @@
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
 #include "obs/trace.hpp"
+#include "parallel/task_pool.hpp"
 
 namespace dragster::fleet {
 
@@ -604,18 +605,37 @@ void FleetScheduler::step() {
   FleetSlot record;
   record.slot = slot_;
 
+  // Jobs step in spec-index order; each bundle owns its engine, controller,
+  // actuation, transport and RNG state, so runner->step() is independence-
+  // safe.  The shared cluster ledger is NOT: bundle construction and the
+  // ledger sync interleave with steps in job-index order, and under tight
+  // node capacity that interleaving is observable.  The pool therefore fans
+  // out only slots where the interleaving is provably the serial one — no
+  // fresh bundle to construct mid-loop and no trace registry attached (the
+  // registry is one shared scoped sink) — and every shared mutation happens
+  // at the barriers below, in job-index order.  Slots that fail the guard
+  // run the exact serial sequence, so bytes match the serial path either
+  // way, at any thread count.
+  std::vector<Job*> running;
+  running.reserve(jobs_.size());
+  bool any_fresh = false;
   for (const auto& job : jobs_) {
     if (job->state != JobState::kRunning) continue;
-    if (obs_ != nullptr) obs_->set_scope(obs::Labels{{"job", job->spec.name}});
-    if (job->fresh)
-      construct_bundle(*job);
-    else
-      job->runner->set_budget(budget_limited_
-                                  ? pods_budget(job->grant, options_.pod_price_per_hour)
-                                  : online::Budget::unlimited(options_.pod_price_per_hour));
-    job->runner->step();
-    if (obs_ != nullptr) obs_->set_scope(obs::Labels{});
+    running.push_back(job.get());
+    any_fresh = any_fresh || job->fresh;
+  }
 
+  auto prepare_job = [&](Job& job) {
+    if (job.fresh)
+      construct_bundle(job);
+    else
+      job.runner->set_budget(budget_limited_
+                                 ? pods_budget(job.grant, options_.pod_price_per_hour)
+                                 : online::Budget::unlimited(options_.pod_price_per_hour));
+  };
+
+  auto reduce_job = [&](Job* jobp) {
+    Job* const job = jobp;
     const experiments::SlotSummary& last = job->runner->partial().slots.back();
 
     // Pressure for the next arbitration: the controller's dual (the shadow
@@ -695,6 +715,23 @@ void FleetScheduler::step() {
     record.running_jobs += 1;
 
     sync_ledger(*job);
+  };
+
+  parallel::TaskPool& pool = parallel::TaskPool::global();
+  const bool fan_out = obs_ == nullptr && !any_fresh && running.size() > 1 &&
+                       pool.threads() > 1 && !parallel::TaskPool::in_worker();
+  if (fan_out) {
+    for (Job* job : running) prepare_job(*job);  // budget refresh only: job-local
+    pool.for_each(running.size(), [&](std::size_t i) { running[i]->runner->step(); });
+    for (Job* job : running) reduce_job(job);  // shared mutations, job-index order
+  } else {
+    for (Job* job : running) {
+      if (obs_ != nullptr) obs_->set_scope(obs::Labels{{"job", job->spec.name}});
+      prepare_job(*job);
+      job->runner->step();
+      if (obs_ != nullptr) obs_->set_scope(obs::Labels{});
+      reduce_job(job);
+    }
   }
   for (const auto& job : jobs_) {
     if (job->state == JobState::kQueued) record.queued_jobs += 1;

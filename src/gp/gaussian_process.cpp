@@ -19,6 +19,7 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       noise_variance_(other.noise_variance_),
       prior_mean_(other.prior_mean_),
       inputs_(other.inputs_),
+      flat_inputs_(other.flat_inputs_),
       targets_(other.targets_),
       chol_(other.chol_ ? std::make_unique<linalg::Cholesky>(*other.chol_) : nullptr),
       alpha_(other.alpha_) {}
@@ -39,9 +40,10 @@ void GaussianProcess::add_observation(std::vector<double> x, double y) {
     chol_ = std::make_unique<linalg::Cholesky>(k);
   } else {
     linalg::Vector col(inputs_.size());
-    for (std::size_t i = 0; i < inputs_.size(); ++i) col[i] = (*kernel_)(inputs_[i], x);
+    kernel_->eval_row(flat_inputs_, inputs_.size(), x, col);
     chol_->extend(col, (*kernel_)(x, x) + noise_variance_);
   }
+  flat_inputs_.insert(flat_inputs_.end(), x.begin(), x.end());
   inputs_.push_back(std::move(x));
   targets_.push_back(y);
   rebuild_alpha();
@@ -58,7 +60,7 @@ Posterior GaussianProcess::predict(std::span<const double> x) const {
   if (inputs_.empty()) return {prior_mean_, kernel_->prior_variance()};
 
   linalg::Vector k(inputs_.size());
-  for (std::size_t i = 0; i < inputs_.size(); ++i) k[i] = (*kernel_)(inputs_[i], x);
+  kernel_->eval_row(flat_inputs_, inputs_.size(), x, k);
 
   Posterior post;
   post.mean = prior_mean_ + linalg::dot(k, alpha_);
@@ -67,6 +69,34 @@ Posterior GaussianProcess::predict(std::span<const double> x) const {
   post.variance = (*kernel_)(x, x) - linalg::dot(v, v);
   if (post.variance < 0.0) post.variance = 0.0;  // guard FP round-off
   return post;
+}
+
+void GaussianProcess::predict_batch(std::span<const double> xs, std::size_t count,
+                                    std::span<Posterior> out) const {
+  const std::size_t d = kernel_->dimension();
+  DRAGSTER_REQUIRE(xs.size() == count * d, "predict_batch: packed query size mismatch");
+  DRAGSTER_REQUIRE(out.size() == count, "predict_batch: output size mismatch");
+  if (count == 0) return;
+  const std::size_t n = inputs_.size();
+  if (n == 0) {
+    for (std::size_t q = 0; q < count; ++q) out[q] = {prior_mean_, kernel_->prior_variance()};
+    return;
+  }
+  // Kernel columns, query-contiguous: column q spans k_all[q*n, q*n + n).
+  std::vector<double> k_all(count * n);
+  for (std::size_t q = 0; q < count; ++q)
+    kernel_->eval_row(flat_inputs_, n, xs.subspan(q * d, d),
+                      std::span<double>(k_all).subspan(q * n, n));
+  std::vector<double> v_all(count * n);
+  chol_->solve_lower_multi(k_all, count, v_all);
+  for (std::size_t q = 0; q < count; ++q) {
+    const std::span<const double> k(k_all.data() + q * n, n);
+    const std::span<const double> v(v_all.data() + q * n, n);
+    const std::span<const double> x = xs.subspan(q * d, d);
+    out[q].mean = prior_mean_ + linalg::dot(k, alpha_);
+    out[q].variance = (*kernel_)(x, x) - linalg::dot(v, v);
+    if (out[q].variance < 0.0) out[q].variance = 0.0;  // guard FP round-off
+  }
 }
 
 double GaussianProcess::log_marginal_likelihood() const {
@@ -80,6 +110,7 @@ double GaussianProcess::log_marginal_likelihood() const {
 
 void GaussianProcess::reset() {
   inputs_.clear();
+  flat_inputs_.clear();
   targets_.clear();
   alpha_.clear();
   chol_.reset();

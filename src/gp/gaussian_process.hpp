@@ -43,6 +43,15 @@ class GaussianProcess {
   /// observations, returns the prior.
   [[nodiscard]] Posterior predict(std::span<const double> x) const;
 
+  /// Batched posterior: `xs` packs `count` query points row-major
+  /// (count * dimension doubles); out[q] receives the posterior at query q,
+  /// bit-identical to predict() on the same point.  One kernel-row sweep per
+  /// query plus a single multi-RHS forward solve replaces count scalar
+  /// solves — the acquisition-argmax hot path stops being O(n^2) per
+  /// candidate in scalar loops.
+  void predict_batch(std::span<const double> xs, std::size_t count,
+                     std::span<Posterior> out) const;
+
   [[nodiscard]] std::size_t num_observations() const noexcept { return inputs_.size(); }
   [[nodiscard]] double noise_variance() const noexcept { return noise_variance_; }
   [[nodiscard]] double prior_mean() const noexcept { return prior_mean_; }
@@ -80,6 +89,7 @@ class GaussianProcess {
   double noise_variance_;
   double prior_mean_;
   std::vector<std::vector<double>> inputs_;
+  std::vector<double> flat_inputs_;    // row-major mirror of inputs_ for eval_row
   linalg::Vector targets_;             // raw y values
   std::unique_ptr<linalg::Cholesky> chol_;  // factor of K + sigma^2 I
   linalg::Vector alpha_;               // (K + sigma^2 I)^{-1} (y - m)

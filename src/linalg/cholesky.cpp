@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -72,6 +73,49 @@ Vector Cholesky::solve_lower(const Vector& b) const {
     z[i] = value / l_(i, i);
   }
   return z;
+}
+
+void Cholesky::solve_lower_multi(std::span<const double> b, std::size_t nrhs,
+                                 std::span<double> out) const {
+  const std::size_t n = l_.rows();
+  DRAGSTER_REQUIRE(b.size() == n * nrhs, "size mismatch in Cholesky::solve_lower_multi");
+  DRAGSTER_REQUIRE(out.size() == n * nrhs, "output size mismatch in Cholesky::solve_lower_multi");
+  if (n == 0 || nrhs == 0) return;
+  // Row-major workspace: w[i * nrhs + r] is element i of column r, so the
+  // inner updates stride unit across right-hand sides and vectorize.
+  std::vector<double> w(n * nrhs);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 0; r < nrhs; ++r) w[i * nrhs + r] = b[r * n + i];
+  // Blocked forward substitution.  For each block of rows, first consume the
+  // already-solved prefix (the panel), then the small triangle inside the
+  // block.  Per element the subtraction order stays k = 0 .. i-1 ascending —
+  // the exact solve_lower sequence — so blocking never perturbs a bit.
+  constexpr std::size_t kBlock = 48;
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t b1 = std::min(n, b0 + kBlock);
+    for (std::size_t i = b0; i < b1; ++i) {
+      double* wi = w.data() + i * nrhs;
+      const std::span<const double> li = l_.row(i);
+      for (std::size_t k = 0; k < b0; ++k) {
+        const double lik = li[k];
+        const double* wk = w.data() + k * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) wi[r] -= lik * wk[r];
+      }
+    }
+    for (std::size_t i = b0; i < b1; ++i) {
+      double* wi = w.data() + i * nrhs;
+      const std::span<const double> li = l_.row(i);
+      for (std::size_t k = b0; k < i; ++k) {
+        const double lik = li[k];
+        const double* wk = w.data() + k * nrhs;
+        for (std::size_t r = 0; r < nrhs; ++r) wi[r] -= lik * wk[r];
+      }
+      const double lii = li[i];
+      for (std::size_t r = 0; r < nrhs; ++r) wi[r] /= lii;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 0; r < nrhs; ++r) out[r * n + i] = w[i * nrhs + r];
 }
 
 Vector Cholesky::solve(const Vector& b) const {

@@ -6,6 +6,8 @@
 // O(n^3), which keeps per-slot controller cost flat as history grows.
 #pragma once
 
+#include <span>
+
 #include "linalg/matrix.hpp"
 
 namespace dragster::linalg {
@@ -22,6 +24,17 @@ class Cholesky {
 
   /// Solves L z = b (forward substitution).
   [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// Forward-substitutes L Z = B for `nrhs` right-hand sides at once.
+  /// `b` holds the columns contiguously (column r spans b[r*n, r*n + n)),
+  /// `out` likewise.  Every column sees exactly the arithmetic of
+  /// solve_lower — same accumulation order, same rounding — so each result
+  /// is bit-identical to the single-RHS path.  The win is structural: one
+  /// column is a latency-bound dependency chain, but the columns are
+  /// independent, so the blocked row-major sweep turns the chain into
+  /// unit-stride vector updates across right-hand sides.
+  void solve_lower_multi(std::span<const double> b, std::size_t nrhs,
+                         std::span<double> out) const;
 
   /// Appends one row/column to the factored matrix: `col` is the new
   /// off-diagonal column of A (length n), `diag` the new diagonal entry.

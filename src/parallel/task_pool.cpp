@@ -1,0 +1,174 @@
+#include "parallel/task_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dragster::parallel {
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+/// One for_each invocation.  Heap-allocated and shared with the workers so a
+/// lane that wakes late can still touch the claim counter safely after the
+/// submitting frame has returned.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  // Lowest-index failure wins, so the rethrown error is scheduling-invariant.
+  std::mutex error_mutex;
+  bool has_error = false;
+  std::size_t error_index = 0;
+  std::string error_message;
+
+  void record_error(std::size_t index, const char* what) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (!has_error || index < error_index) {
+      has_error = true;
+      error_index = index;
+      error_message = what != nullptr ? what : "unknown error";
+    }
+  }
+};
+
+std::size_t env_threads() {
+  const char* raw = std::getenv("DRAGSTER_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || parsed < 0) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
+std::mutex g_global_mutex;
+std::unique_ptr<TaskPool> g_global_pool;
+std::size_t g_global_threads = env_threads();
+
+}  // namespace
+
+struct TaskPool::Impl {
+  std::size_t lanes = 1;
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::shared_ptr<Job> job;  // guarded by mutex; generation bump publishes it
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  void run_tasks(const std::shared_ptr<Job>& active) {
+    tl_in_worker = true;
+    for (;;) {
+      const std::size_t i = active->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= active->count) break;
+      try {
+        (*active->fn)(i);
+      } catch (const std::exception& e) {
+        active->record_error(i, e.what());
+      } catch (...) {
+        active->record_error(i, "non-standard exception");
+      }
+      if (active->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        cv_done.notify_all();
+      }
+    }
+    tl_in_worker = false;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> active;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv_work.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        active = job;
+      }
+      if (active) run_tasks(active);
+    }
+  }
+};
+
+TaskPool::TaskPool(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  impl_->lanes = threads == 0 ? 1 : threads;
+  for (std::size_t i = 1; i < impl_->lanes; ++i)
+    impl_->workers.emplace_back([impl = impl_.get()] { impl->worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+}
+
+std::size_t TaskPool::threads() const noexcept { return impl_->lanes; }
+
+void TaskPool::for_each(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (tl_in_worker)
+    throw Error(
+        "TaskPool: nested submission from inside a work item; "
+        "guard the call site with TaskPool::in_worker() and run serially");
+  if (impl_->lanes <= 1 || count == 1) {
+    // Inline path: index order, same thread — bit-identical to a for loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  job->remaining.store(count, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->cv_work.notify_all();
+  impl_->run_tasks(job);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->cv_done.wait(lock,
+                        [&] { return job->remaining.load(std::memory_order_acquire) == 0; });
+    impl_->job.reset();
+  }
+  if (job->has_error)
+    throw Error("TaskPool: task " + std::to_string(job->error_index) +
+                " failed: " + job->error_message);
+}
+
+bool TaskPool::in_worker() noexcept { return tl_in_worker; }
+
+TaskPool& TaskPool::global() {
+  const std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<TaskPool>(g_global_threads);
+  return *g_global_pool;
+}
+
+void TaskPool::set_global_threads(std::size_t threads) {
+  const std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_threads = threads;
+  g_global_pool.reset();
+}
+
+std::size_t TaskPool::hardware_threads(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t lanes = hw == 0 ? 1 : hw;
+  return std::max<std::size_t>(1, std::min(lanes, cap));
+}
+
+}  // namespace dragster::parallel

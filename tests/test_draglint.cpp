@@ -92,6 +92,10 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       {"node_map.cpp", 33, "DL002"},         // .begin() on the unordered cordon set
       {"node_map.cpp", 34, "DL002"},         // ...and its .end() guard
       // (node_map.cpp line 36, the ordered std::map mirror, must NOT fire)
+      {"pool_reduce.cpp", 14, "DL006"},      // raw std::mutex
+      {"pool_reduce.cpp", 15, "DL006"},      // raw std::thread
+      {"pool_reduce.cpp", 16, "DL006"},      // std::mutex as a lock_guard argument
+      {"pool_reduce.cpp", 24, "DL006"},      // push_back inside a for_each work item
       {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
       {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
       {"transport_retry.cpp", 28, "DL001"},  // rand()-backed retry backoff
@@ -141,7 +145,7 @@ TEST(Draglint, RuleTableListsAllIds) {
   EXPECT_EQ(run.exit_code, 0);
   std::string joined;
   for (const std::string& line : run.lines) joined += line + "\n";
-  for (const char* id : {"DL000", "DL001", "DL002", "DL003", "DL004", "DL005"})
+  for (const char* id : {"DL000", "DL001", "DL002", "DL003", "DL004", "DL005", "DL006"})
     EXPECT_NE(joined.find(id), std::string::npos) << "missing " << id;
 }
 

@@ -27,6 +27,7 @@
 #include "fleet/fleet.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "parallel/task_pool.hpp"
 #include "resilience/snapshot.hpp"
 #include "resilience/supervisor.hpp"
 #include "transport/transport.hpp"
@@ -87,6 +88,15 @@ TEST(PropertySweep, RandomizedScenariosUpholdAllInvariants) {
 
   for (std::size_t i = 0; i < kScenarios; ++i) {
     SCOPED_TRACE("scenario " + std::to_string(i));
+    // Every scenario also samples a TaskPool size from its own stream (so the
+    // scenario parameters below are unchanged): the invariants are exercised
+    // across the serial inline path and real fan-out alike, and by the
+    // fixed-order reduction contract the pool size cannot change what any
+    // assertion sees — only which code path computed it.
+    constexpr std::size_t kPoolSizes[] = {1, 2, 4, 8};
+    common::Rng pool_rng(0xB001 + i);
+    parallel::TaskPool::set_global_threads(
+        kPoolSizes[static_cast<std::size_t>(pool_rng.uniform_int(0, 3))]);
     common::Rng rng(0xD5A000 + i);
     const std::uint64_t seed = rng.next_u64();
     const auto slots = static_cast<std::size_t>(rng.uniform_int(10, 16));
@@ -187,6 +197,8 @@ TEST(PropertySweep, RandomizedScenariosUpholdAllInvariants) {
       EXPECT_GE(slot.cost, 0.0);
     }
   }
+
+  parallel::TaskPool::set_global_threads(0);  // leave the serial default behind
 
   // The sweep actually mixed the layer combinations it claims to cover.
   EXPECT_GE(managed_runs, kScenarios / 4);

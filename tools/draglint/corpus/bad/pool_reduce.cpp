@@ -1,0 +1,28 @@
+// DL006 corpus: raw threading primitives and completion-order accumulation.
+// This file is lint corpus only — it is never compiled or linked.
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace corpus {
+
+struct TaskPool {
+  void for_each(unsigned count, void (*fn)(unsigned));
+};
+
+void hand_rolled_fanout(std::vector<double>& results) {
+  std::mutex guard;                          // line 14: raw std::mutex
+  std::thread worker([&] {                   // line 15: raw std::thread
+    std::lock_guard<std::mutex> lock(guard); // line 16: std::mutex again
+    results.push_back(1.0);
+  });
+  worker.join();
+}
+
+void unordered_commit(TaskPool& pool, std::vector<double>& shared) {
+  pool.for_each(8, [&shared](unsigned i) {
+    shared.push_back(static_cast<double>(i));  // line 24: completion-order commit
+  });
+}
+
+}  // namespace corpus

@@ -1,0 +1,30 @@
+// DL006 corpus, clean side: the blessed fixed-order reduction shape.  Work
+// items commit into index-addressed slots; the fold happens after the join on
+// the calling thread; no raw threading primitives appear.
+// This file is lint corpus only — it is never compiled or linked.
+#include <cstddef>
+#include <vector>
+
+namespace corpus {
+
+struct TaskPool {
+  void for_each(std::size_t count, void (*fn)(std::size_t));
+  static bool in_worker() noexcept;
+};
+
+// Index-ordered commit: each work item owns slot i, so the output bytes are
+// invariant to which lane finishes first.
+double indexed_reduction(TaskPool& pool, std::size_t count) {
+  std::vector<double> slots(count);
+  pool.for_each(count, [&slots](std::size_t i) { slots[i] = static_cast<double>(i) * 0.5; });
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) total += slots[i];  // fold after the join
+  return total;
+}
+
+// Accumulation is fine on the calling thread, outside any work item.
+void serial_accumulate(std::vector<double>& out, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) out.push_back(static_cast<double>(i));
+}
+
+}  // namespace corpus

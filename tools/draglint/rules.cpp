@@ -406,6 +406,63 @@ void rule_snapshot_parity(const LexedFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// DL006 — raw threading primitives outside src/parallel
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& banned_thread_types() {
+  static const std::set<std::string> names = {
+      "thread", "jthread", "async", "mutex", "timed_mutex", "recursive_mutex", "shared_mutex",
+      "shared_timed_mutex", "recursive_timed_mutex", "condition_variable",
+      "condition_variable_any"};
+  return names;
+}
+
+/// src/parallel is the one layer allowed to own raw primitives — TaskPool
+/// wraps them behind the fixed-order reduction contract.
+bool in_parallel_layer(const std::string& path) {
+  return path.find("src/parallel/") != std::string::npos;
+}
+
+void rule_threading(const LexedFile& file, std::vector<Finding>* out) {
+  if (in_parallel_layer(file.path)) return;
+  const Tokens& t = file.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokenKind::kIdentifier || t[i].in_preproc) continue;
+    // `std::thread`, `std::async`, `std::mutex`, ... — the std:: qualifier is
+    // required so a local variable merely *named* mutex stays legal.
+    if (banned_thread_types().count(t[i].text) != 0U && is_punct(at(t, i - 1), "::") &&
+        is_ident(at(t, i - 2), "std")) {
+      out->push_back({"DL006", file.path, t[i].line,
+                      "raw threading primitive 'std::" + t[i].text +
+                          "' outside src/parallel — all parallelism goes through "
+                          "parallel::TaskPool's index-ordered reduction"});
+      continue;
+    }
+    // Unordered accumulation: growing a shared container from inside a
+    // for_each work item commits results in completion order.  The safe
+    // shape is an index-addressed slot (`out[i] = ...`) folded after the
+    // join — TaskPool::map packages exactly that.
+    if (is_ident(t[i], "for_each") && is_punct(at(t, i + 1), "(")) {
+      int depth = 0;
+      for (std::size_t j = i + 1; j < t.size(); ++j) {
+        if (is_punct(t[j], "(")) ++depth;
+        if (is_punct(t[j], ")") && --depth == 0) break;
+        if (t[j].kind != TokenKind::kIdentifier) continue;
+        const std::string& member = t[j].text;
+        if ((member == "push_back" || member == "emplace_back" || member == "insert") &&
+            (is_punct(at(t, j - 1), ".") || is_punct(at(t, j - 1), "->")) &&
+            is_punct(at(t, j + 1), "(")) {
+          out->push_back({"DL006", file.path, t[j].line,
+                          "unordered accumulation: '" + member +
+                              "' inside a for_each work item — commit into an index-addressed "
+                              "slot and fold after the join"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Allow directives
 // ---------------------------------------------------------------------------
 
@@ -454,6 +511,10 @@ const std::vector<RuleInfo>& rule_table() {
        "no floating-point == / != in src/ outside allowlisted bit-replay checks"},
       {"DL005", "snapshot-parity",
        "every key written by save_state() is read by load_state(), and vice versa"},
+      {"DL006", "taskpool-only-parallelism",
+       "no raw std::thread/std::async/std::mutex outside src/parallel, and no unordered "
+       "accumulation inside a for_each work item — parallelism goes through "
+       "parallel::TaskPool's index-ordered reduction"},
   };
   return table;
 }
@@ -465,6 +526,7 @@ std::vector<Finding> scan_file(const LexedFile& file, bool library_scope) {
     rule_throw(file, &findings);
     rule_float_eq(file, &findings);
     rule_snapshot_parity(file, &findings);
+    rule_threading(file, &findings);
   }
   rule_unordered(file, &findings);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {

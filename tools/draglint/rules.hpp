@@ -9,10 +9,14 @@
 //   DL003  throw of anything other than dragster::Error in library code
 //   DL004  floating-point == / != in library code
 //   DL005  snapshot field parity between save_state() and load_state()
+//   DL006  raw threading primitives outside src/parallel, or unordered
+//          accumulation inside a for_each work item
 //
-// DL001/DL003/DL004/DL005 are library-scoped: they fire for files under
-// src/ (or everywhere under --assume-src, which the corpus tests use).
-// DL002 fires everywhere — bench/example binaries write traces too.
+// DL001/DL003/DL004/DL005/DL006 are library-scoped: they fire for files
+// under src/ (or everywhere under --assume-src, which the corpus tests use);
+// DL006 additionally exempts src/parallel itself, the layer that owns the
+// primitives.  DL002 fires everywhere — bench/example binaries write traces
+// too.
 #pragma once
 
 #include <string>
