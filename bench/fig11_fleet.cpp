@@ -30,7 +30,7 @@
 //
 // --max-slot-ms N makes the exit code additionally assert that no fleet
 // slot took longer than N milliseconds of wall-clock (0 disables).
-#include <chrono>  // draglint:allow(DL001 wall-clock is reported to stdout only, never serialized into BENCH_fig11.json)
+#include <chrono>  // wall-clock is reported to stdout only, never serialized into BENCH_fig11.json
 #include <fstream>
 #include <sstream>
 
@@ -124,9 +124,9 @@ SweepResult run_sweep(std::size_t n, const std::string& arm, fleet::ArbiterMode 
   fleet::FleetScheduler scheduler(std::move(specs), options, obs);
   double total_ms = 0.0;
   for (std::size_t t = 0; t < slots; ++t) {
-    const auto begin = std::chrono::steady_clock::now();  // draglint:allow(DL001 stdout-only wall-clock measurement)
+    const auto begin = std::chrono::steady_clock::now();  // stdout-only wall-clock measurement
     scheduler.step();
-    const auto end = std::chrono::steady_clock::now();  // draglint:allow(DL001 stdout-only wall-clock measurement)
+    const auto end = std::chrono::steady_clock::now();  // stdout-only wall-clock measurement
     const double ms = std::chrono::duration<double, std::milli>(end - begin).count();
     total_ms += ms;
     sweep.max_slot_ms = std::max(sweep.max_slot_ms, ms);

@@ -21,13 +21,13 @@
 #include <benchmark/benchmark.h>
 
 #include <bit>
-#include <chrono>  // draglint:allow(DL001 wall-clock timings are bench output, never simulated state)
+#include <chrono>  // wall-clock timings are bench output, never simulated state
 #include <cinttypes>
 #include <cmath>
 #include <cstring>
 #include <fstream>
 #include <string_view>
-#include <thread>  // draglint:allow(DL006 hardware_concurrency for the hardware stanza of BENCH_speed.json)
+#include <thread>  // hardware_concurrency for the hardware stanza of BENCH_speed.json
 
 #include "baselines/oracle.hpp"
 #include "bench_util.hpp"
@@ -204,11 +204,11 @@ std::string hex64(std::uint64_t value) {
 /// minimum is the noise-robust estimator on a shared machine.
 template <typename Fn>
 double time_per_call_ns(Fn&& fn, double rep_ns = 2e7, int reps = 5) {
-  using clock = std::chrono::steady_clock;  // draglint:allow(DL001 bench-only timing)
+  using clock = std::chrono::steady_clock;  // bench-only timing
   auto elapsed_ns = [&](std::size_t iters) {
-    const auto begin = clock::now();  // draglint:allow(DL001 bench-only timing)
+    const auto begin = clock::now();  // bench-only timing
     for (std::size_t i = 0; i < iters; ++i) fn();
-    const auto end = clock::now();  // draglint:allow(DL001 bench-only timing)
+    const auto end = clock::now();  // bench-only timing
     return std::chrono::duration<double, std::nano>(end - begin).count();
   };
   std::size_t iters = 1;
@@ -492,7 +492,7 @@ struct FleetTimed {
 };
 
 FleetTimed run_fleet_once(std::size_t jobs, std::size_t slots, std::uint64_t seed) {
-  using clock = std::chrono::steady_clock;  // draglint:allow(DL001 bench-only timing)
+  using clock = std::chrono::steady_clock;  // bench-only timing
   std::vector<fleet::JobSpec> specs = make_speed_fleet(jobs);
   fleet::FleetOptions options;
   options.slots = slots;
@@ -507,9 +507,9 @@ FleetTimed run_fleet_once(std::size_t jobs, std::size_t slots, std::uint64_t see
   // The admission slot constructs every bundle and is serial by design; time
   // the steady-state slots after it, which is where the pool fans out.
   scheduler.step();
-  const auto begin = clock::now();  // draglint:allow(DL001 bench-only timing)
+  const auto begin = clock::now();  // bench-only timing
   for (std::size_t t = 1; t < slots; ++t) scheduler.step();
-  const auto end = clock::now();  // draglint:allow(DL001 bench-only timing)
+  const auto end = clock::now();  // bench-only timing
   FleetTimed timed;
   timed.ms_per_slot = std::chrono::duration<double, std::milli>(end - begin).count() /
                       static_cast<double>(slots - 1);

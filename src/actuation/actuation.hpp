@@ -225,7 +225,9 @@ class ActuationManager final : public streamsim::ScalingActuator,
   [[nodiscard]] double draw_backoff(dag::NodeId op, const Operation& live) const;
   [[nodiscard]] const std::string& op_name(dag::NodeId op) const;
 
+  // draglint:allow(DL009 borrowed engine handle, re-wired by the restoring owner)
   streamsim::Engine* engine_;
+  // draglint:allow(DL009 construction-time config, supplied again by the restoring owner)
   ActuationOptions options_;
   std::uint64_t seed_;
   double latency_multiplier_ = 1.0;
@@ -233,6 +235,7 @@ class ActuationManager final : public streamsim::ScalingActuator,
   std::map<dag::NodeId, Channel> channels_;
   std::map<dag::NodeId, Stats> stats_;
   std::vector<EpochRecord> records_;
+  // draglint:allow(DL009 borrowed telemetry sink, re-attached after restore; not state)
   obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
 };
 

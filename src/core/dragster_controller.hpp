@@ -151,6 +151,7 @@ class DragsterController final : public Controller, public resilience::Snapshota
 
   DragsterOptions options_;
   std::unique_ptr<dag::StreamDag> dag_;          ///< planning copy (learner may mutate)
+  // draglint:allow(DL009 derived solver over dag_, reconstructed rather than serialized)
   std::unique_ptr<dag::FlowSolver> flow_;
   std::unique_ptr<online::DualState> dual_;
   std::unique_ptr<ThroughputLearner> learner_;
@@ -164,8 +165,10 @@ class DragsterController final : public Controller, public resilience::Snapshota
   /// re-issues it rather than re-planning around the damaged deployment.
   std::map<dag::NodeId, int> commanded_tasks_;
   std::map<dag::NodeId, cluster::PodSpec> commanded_spec_;
+  // draglint:allow(DL009 per-slot trace scratch, cleared at the top of every step)
   std::map<dag::NodeId, DecisionDetail> decision_details_;  ///< per slot, traced
   std::size_t slot_ = 0;
+  // draglint:allow(DL009 borrowed telemetry sink, re-attached after restore; not state)
   obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
 };
 

@@ -275,7 +275,7 @@ void FleetScheduler::arbitrate() {
         donors.push_back(k);
     }
     const auto more_pressured = [&](std::size_t a, std::size_t b) {
-      if (running[a]->pressure != running[b]->pressure)  // draglint:allow(DL004 exact ordering; ties fall through to the index)
+      if (running[a]->pressure != running[b]->pressure)  // exact ordering; ties fall through to the index
         return running[a]->pressure > running[b]->pressure;
       return a < b;
     };

@@ -243,6 +243,7 @@ class TelemetryPipe {
   std::size_t latest_captured_ = 0;
   bool has_latest_ = false;
   std::size_t slot_ = 0;
+  // draglint:allow(DL009 presentation copy of latest_, recomputed by every observe call)
   streamsim::MonitorFrame view_;  ///< latest_ + staleness marks
 };
 
@@ -322,10 +323,15 @@ class CommandLink final : public streamsim::ScalingActuator {
 
   Channel command_;
   Channel ack_;
+  // draglint:allow(DL009 construction-time retry policy, supplied again on rebuild)
   RetryOptions retry_;
+  // draglint:allow(DL009 construction-time seed; the substream state lives in the channels)
   std::uint64_t seed_ = 0;
+  // draglint:allow(DL009 borrowed actuator, re-bound via bind() after restore)
   streamsim::ScalingActuator* downstream_ = nullptr;  ///< borrowed
+  // draglint:allow(DL009 borrowed stats sink, re-bound via bind() after restore)
   TransportStats* stats_ = nullptr;                   ///< borrowed
+  // draglint:allow(DL009 borrowed telemetry sink, re-bound via bind() after restore)
   obs::Registry* obs_ = nullptr;                      ///< borrowed; may be null
   std::size_t slot_ = 0;
   std::map<std::uint64_t, Pending> pending_;      ///< by seq (send order)
@@ -391,6 +397,7 @@ class TransportHarness final : public resilience::Snapshotable {
  private:
   void transition(BreakerState next, std::size_t slot);
 
+  // draglint:allow(DL009 construction-time config, supplied again by the restoring owner)
   TransportOptions options_;
   std::uint64_t seed_ = 0;
   TelemetryPipe pipe_;
@@ -399,8 +406,11 @@ class TransportHarness final : public resilience::Snapshotable {
   std::size_t miss_streak_ = 0;
   std::size_t open_slots_ = 0;  ///< consecutive slots spent open
   std::unique_ptr<baselines::Ds2Controller> fallback_;  ///< created lazily
+  // draglint:allow(DL009 re-supplied by attach()/set_budget() when the harness is rewired)
   online::Budget budget_ = online::Budget::unlimited(0.10);
+  // draglint:allow(DL009 borrowed dag handle, re-wired by attach() after restore)
   const dag::StreamDag* dag_ = nullptr;  ///< borrowed via attach()
+  // draglint:allow(DL009 borrowed telemetry sink, re-wired by attach() after restore)
   obs::Registry* obs_ = nullptr;  ///< borrowed; null = telemetry off
   TransportStats stats_;
 };

@@ -88,6 +88,11 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       {"fleet_trace.cpp", 27, "DL002"},      // unordered grants into TraceSink
       {"fleet_trace.cpp", 32, "DL005"},      // arbiter delta saved, never read
       {"fleet_trace.cpp", 37, "DL005"},      // cooldown read, never saved
+      {"fleet_trace.cpp", 43, "DL009"},      // grants_ never referenced by save_state
+      {"lexer_tricks.cpp", 29, "DL001"},     // rand() the v1 raw-string bug hid
+      {"lexer_tricks.cpp", 41, "DL004"},     // digit-separated float comparison
+      // (lexer_tricks.cpp spliced/raw-string literals must produce NO phantom
+      //  findings — the exact-set comparison pins their absence)
       {"node_map.cpp", 27, "DL002"},         // unordered node->pods into TraceSink
       {"node_map.cpp", 33, "DL002"},         // .begin() on the unordered cordon set
       {"node_map.cpp", 34, "DL002"},         // ...and its .end() guard
@@ -96,8 +101,11 @@ TEST(Draglint, BadCorpusFiresEachRuleExactlyWhereExpected) {
       {"pool_reduce.cpp", 15, "DL006"},      // raw std::thread
       {"pool_reduce.cpp", 16, "DL006"},      // std::mutex as a lock_guard argument
       {"pool_reduce.cpp", 24, "DL006"},      // push_back inside a for_each work item
+      {"snapshot_missing.cpp", 33, "DL009"}, // backlog_ dropped on every recovery
       {"snapshot_parity.cpp", 21, "DL005"},  // key written, never read
       {"snapshot_parity.cpp", 27, "DL005"},  // key read, never written
+      {"stale_allow.cpp", 11, "DL000"},      // reasoned allow suppressing nothing
+      {"substream_collision.cpp", 26, "DL008"},  // duplicated ("chaos","latency")
       {"transport_retry.cpp", 28, "DL001"},  // rand()-backed retry backoff
       {"transport_retry.cpp", 32, "DL001"},  // wall-clock retry jitter seed
       {"transport_retry.cpp", 41, "DL005"},  // channel retry counter saved, never read
@@ -130,8 +138,9 @@ TEST(Draglint, AllowHatchIsWhatSuppresses) {
   EXPECT_EQ(parse_findings(bad).size(), 3U);
 }
 
-// Library-scoped rules (DL001/3/4/5) stay quiet outside src/ unless
-// --assume-src: bench and example code may legitimately read wall clocks.
+// Library-scoped rules (DL001/3/4/5/6 and the cross-TU DL008/DL009) stay
+// quiet outside src/ unless --assume-src: bench and example code may
+// legitimately read wall clocks.
 TEST(Draglint, LibraryRulesScopeToSrcOnly) {
   const LintRun run = run_draglint("--fix-list " + corpus("bad"));
   EXPECT_EQ(run.exit_code, 1);
@@ -145,8 +154,111 @@ TEST(Draglint, RuleTableListsAllIds) {
   EXPECT_EQ(run.exit_code, 0);
   std::string joined;
   for (const std::string& line : run.lines) joined += line + "\n";
-  for (const char* id : {"DL000", "DL001", "DL002", "DL003", "DL004", "DL005", "DL006"})
+  for (const char* id : {"DL000", "DL001", "DL002", "DL003", "DL004", "DL005", "DL006", "DL007",
+                         "DL008", "DL009"})
     EXPECT_NE(joined.find(id), std::string::npos) << "missing " << id;
+}
+
+// DL007 against the layercycle fixture: the upward include out of the bottom
+// layer fires with the cycle explanation, the undeclared subsystem fires at
+// line 1, and the declared downward edge stays silent.
+TEST(Draglint, LayerBoundaryFiresOnUpwardAndUndeclaredEdges) {
+  const LintRun run = run_draglint("--assume-src --fix-list --layers " + corpus("layercycle") +
+                                   "/layers.txt " + corpus("layercycle"));
+  EXPECT_EQ(run.exit_code, 1);
+  const std::set<Key> expected = {
+      {"util.hpp", 3, "DL007"},    // base -> mid: upward, cycle-forming
+      {"widget.hpp", 1, "DL007"},  // stray/ never declared in layers.txt
+  };
+  EXPECT_EQ(parse_findings(run), expected);
+  bool cycle_explained = false;
+  for (const std::string& line : run.lines)
+    if (line.find("would create a cycle") != std::string::npos) cycle_explained = true;
+  EXPECT_TRUE(cycle_explained) << "DL007 must say when the edge closes a cycle";
+}
+
+// A cyclic layers.txt is a configuration error, not a finding: draglint must
+// refuse to scan (exit 2) rather than check against a graph with no order.
+TEST(Draglint, CyclicLayerDeclarationIsRefused) {
+  const LintRun run = run_draglint("--layers " + corpus("layercycle") + "/cyclic_layers.txt " +
+                                   corpus("layercycle"));
+  EXPECT_EQ(run.exit_code, 2);
+  ASSERT_FALSE(run.lines.empty());
+  EXPECT_NE(run.lines.front().find("cyclic"), std::string::npos) << run.lines.front();
+}
+
+// The incremental cache must be invisible in the findings: a warm scan over
+// the unchanged tree replays pass-1 facts but reports byte-identical output,
+// and a corrupted cache is discarded, not trusted.
+TEST(Draglint, CacheWarmScanIsByteIdenticalToCold) {
+  const std::string cache = testing::TempDir() + "draglint_cache_test.txt";
+  std::remove(cache.c_str());
+  const std::string args =
+      "--fix-list --root " + std::string(DRAGLINT_SOURCE_ROOT) + " --cache " + cache;
+  const LintRun cold = run_draglint(args);
+  const LintRun warm = run_draglint(args);
+  EXPECT_EQ(cold.exit_code, 0);
+  EXPECT_EQ(warm.exit_code, 0);
+  EXPECT_EQ(cold.lines, warm.lines);
+
+  // Cache hits are visible in the human summary (not in --fix-list output).
+  const LintRun summary =
+      run_draglint("--root " + std::string(DRAGLINT_SOURCE_ROOT) + " --cache " + cache);
+  EXPECT_EQ(summary.exit_code, 0);
+  ASSERT_FALSE(summary.lines.empty());
+  EXPECT_NE(summary.lines.back().find("cached"), std::string::npos) << summary.lines.back();
+
+  // Corruption is detected by the version/fingerprint line and ignored.
+  FILE* f = fopen(cache.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  fputs("draglint-cache-v0 deadbeef\nfile nonsense\n", f);
+  fclose(f);
+  const LintRun recovered = run_draglint(args);
+  EXPECT_EQ(recovered.exit_code, 0);
+  EXPECT_EQ(recovered.lines, cold.lines);
+  std::remove(cache.c_str());
+}
+
+// SARIF output: findings render as results with rule IDs and repo-relative
+// URIs, and the bare `--sarif` form (no operand) must not swallow the flag
+// that follows it.
+TEST(Draglint, SarifReportCarriesFindingsAndRelativePaths) {
+  const std::string sarif = testing::TempDir() + "draglint_test.sarif";
+  std::remove(sarif.c_str());
+  const LintRun run = run_draglint("--assume-src --fix-list --sarif " + sarif + " " +
+                                   corpus("bad") + "/float_eq.cpp");
+  EXPECT_EQ(run.exit_code, 1);
+  FILE* f = fopen(sarif.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "SARIF file was not written";
+  std::string text;
+  char buf[4096];
+  for (std::size_t got = 0; (got = fread(buf, 1, sizeof(buf), f)) > 0;) text.append(buf, got);
+  fclose(f);
+  std::remove(sarif.c_str());
+  EXPECT_NE(text.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(text.find("\"ruleId\": \"DL004\""), std::string::npos);
+  EXPECT_NE(text.find("float_eq.cpp"), std::string::npos);
+  EXPECT_NE(text.find("\"startLine\": 7"), std::string::npos);
+
+  // Bare --sarif: the next token is a flag, so the default filename is used
+  // and --rules must still be honored (exit 0, table printed).
+  const LintRun bare = run_draglint("--sarif --rules");
+  EXPECT_EQ(bare.exit_code, 0);
+  std::string joined;
+  for (const std::string& line : bare.lines) joined += line;
+  EXPECT_NE(joined.find("DL008"), std::string::npos);
+}
+
+// --dump-index exposes the pass-1 facts pass 2 consumes; the substream tuple
+// table is the part other tooling is most likely to want.
+TEST(Draglint, DumpIndexShowsSubstreamTuples) {
+  const LintRun run = run_draglint("--assume-src --dump-index " + corpus("bad") +
+                                   "/substream_collision.cpp");
+  EXPECT_EQ(run.exit_code, 0);
+  std::string joined;
+  for (const std::string& line : run.lines) joined += line + "\n";
+  EXPECT_NE(joined.find("substream (\"chaos\", \"latency\")"), std::string::npos) << joined;
+  EXPECT_NE(joined.find("[dynamic]"), std::string::npos) << joined;
 }
 
 // The real tree is the ultimate corpus: src/ bench/ examples/ must scan

@@ -1,0 +1,255 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace draglint {
+namespace {
+
+// Bump when the record format changes; the rule fingerprint below catches
+// rule-table changes automatically.
+constexpr const char* kFormatVersion = "draglint-cache-v2";
+
+/// Fingerprint of the rule table: cached raw findings embed rule IDs and
+/// message text, so any edit to the rules must invalidate the cache.
+std::uint64_t rule_fingerprint() {
+  std::string blob;
+  for (const RuleInfo& r : rule_table()) {
+    blob += r.id;
+    blob += '\x1f';
+    blob += r.name;
+    blob += '\x1f';
+    blob += r.summary;
+    blob += '\x1e';
+  }
+  return fnv1a(blob);
+}
+
+/// Space-free escaping so every record field is space-delimited: backslash,
+/// space, tab, newline.  An empty string encodes as `\e` so field counts
+/// never shift.
+std::string esc(const std::string& s) {
+  if (s.empty()) return "\\e";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool unesc(const std::string& s, std::string* out) {
+  out->clear();
+  if (s == "\\e") return true;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      *out += s[i];
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '\\': *out += '\\'; break;
+      case 's': *out += ' '; break;
+      case 't': *out += '\t'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      case 'e': break;  // empty-string marker mid-token: tolerate
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string f;
+  while (in >> f) out.push_back(f);
+  return out;
+}
+
+bool to_int(const std::string& s, int* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoi(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool to_u64_hex(const std::string& s, std::uint64_t* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(s, &pos, 16);
+    return pos == s.size() && !s.empty();
+  } catch (...) {
+    return false;
+  }
+}
+
+std::string hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void serialize_snapshot_fns(const char* tag, const std::map<std::string, std::vector<SnapshotFn>>& m,
+                            std::string* out) {
+  for (const auto& [owner, fns] : m) {
+    for (const SnapshotFn& fn : fns) {
+      *out += tag;
+      *out += ' ' + esc(owner) + ' ' + std::to_string(fn.line) + ' ' +
+              (fn.dynamic_keys ? "1" : "0") + '\n';
+      for (const std::string& k : fn.keys) *out += "K " + esc(k) + '\n';
+      for (const std::string& id : fn.idents) *out += "D " + esc(id) + '\n';
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string serialize_cache(const Cache& cache) {
+  std::string out = std::string(kFormatVersion) + ' ' + hex(rule_fingerprint()) + '\n';
+  for (const auto& [path, entry] : cache.entries) {
+    const FileFacts& f = entry.facts;
+    out += "file " + esc(path) + ' ' + hex(entry.content_hash) + ' ' +
+           (f.library_scope ? "1" : "0") + '\n';
+    for (const IncludeSite& inc : f.includes)
+      out += "I " + std::to_string(inc.line) + ' ' + esc(inc.target) + '\n';
+    for (const SubstreamChain& s : f.substreams) {
+      out += "S " + std::to_string(s.line) + ' ' + (s.dynamic ? "1" : "0");
+      for (const std::string& label : s.labels) out += ' ' + esc(label);
+      out += '\n';
+    }
+    for (const ClassFacts& c : f.classes) {
+      out += "C " + std::to_string(c.line) + ' ' + (c.snapshotable_base ? "1" : "0") + ' ' +
+             esc(c.name) + '\n';
+      for (const MemberField& m : c.members)
+        out += "M " + std::to_string(m.line) + ' ' + esc(m.name) + '\n';
+    }
+    serialize_snapshot_fns("B", f.saves, &out);
+    serialize_snapshot_fns("L", f.loads, &out);
+    for (const PoolSite& p : f.pool_sites)
+      out += "P " + std::to_string(p.line) + ' ' + esc(p.kind) + ' ' + esc(p.captures) + '\n';
+    for (const AllowDirective& a : f.allows)
+      out += "A " + std::to_string(a.line) + ' ' + (a.alone_on_line ? "1" : "0") + ' ' +
+             esc(a.rule_id) + ' ' + esc(a.reason) + '\n';
+    for (const Finding& fd : f.findings)
+      out += "F " + std::to_string(fd.line) + ' ' + esc(fd.rule_id) + ' ' + esc(fd.message) + '\n';
+  }
+  return out;
+}
+
+Cache parse_cache(const std::string& text) {
+  Cache cache;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) return {};
+  if (line != std::string(kFormatVersion) + ' ' + hex(rule_fingerprint())) return {};
+
+  CacheEntry* entry = nullptr;
+  SnapshotFn* fn = nullptr;  // open B/L record accepting K/D lines
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> f = fields(line);
+    const std::string& tag = f[0];
+    if (tag == "file") {
+      fn = nullptr;
+      std::string path;
+      std::uint64_t hash = 0;
+      if (f.size() != 4 || !unesc(f[1], &path) || !to_u64_hex(f[2], &hash)) return {};
+      entry = &cache.entries[path];
+      entry->content_hash = hash;
+      entry->facts.path = path;
+      entry->facts.library_scope = f[3] == "1";
+      continue;
+    }
+    if (entry == nullptr) return {};
+    FileFacts& ff = entry->facts;
+    if (tag == "I") {
+      IncludeSite inc;
+      if (f.size() != 3 || !to_int(f[1], &inc.line) || !unesc(f[2], &inc.target)) return {};
+      ff.includes.push_back(std::move(inc));
+    } else if (tag == "S") {
+      SubstreamChain s;
+      if (f.size() < 3 || !to_int(f[1], &s.line)) return {};
+      s.dynamic = f[2] == "1";
+      for (std::size_t i = 3; i < f.size(); ++i) {
+        std::string label;
+        if (!unesc(f[i], &label)) return {};
+        s.labels.push_back(std::move(label));
+      }
+      ff.substreams.push_back(std::move(s));
+    } else if (tag == "C") {
+      ClassFacts c;
+      if (f.size() != 4 || !to_int(f[1], &c.line) || !unesc(f[3], &c.name)) return {};
+      c.snapshotable_base = f[2] == "1";
+      ff.classes.push_back(std::move(c));
+    } else if (tag == "M") {
+      MemberField m;
+      if (ff.classes.empty() || f.size() != 3 || !to_int(f[1], &m.line) || !unesc(f[2], &m.name))
+        return {};
+      ff.classes.back().members.push_back(std::move(m));
+    } else if (tag == "B" || tag == "L") {
+      std::string owner;
+      SnapshotFn s;
+      if (f.size() != 4 || !unesc(f[1], &owner) || !to_int(f[2], &s.line)) return {};
+      s.dynamic_keys = f[3] == "1";
+      auto& bucket = (tag == "B" ? ff.saves : ff.loads)[owner];
+      bucket.push_back(std::move(s));
+      fn = &bucket.back();
+      continue;  // keep `fn` open for K/D lines
+    } else if (tag == "K" || tag == "D") {
+      std::string v;
+      if (fn == nullptr || f.size() != 2 || !unesc(f[1], &v)) return {};
+      (tag == "K" ? fn->keys : fn->idents).insert(std::move(v));
+      continue;
+    } else if (tag == "P") {
+      PoolSite p;
+      if (f.size() != 4 || !to_int(f[1], &p.line) || !unesc(f[2], &p.kind) ||
+          !unesc(f[3], &p.captures))
+        return {};
+      ff.pool_sites.push_back(std::move(p));
+    } else if (tag == "A") {
+      AllowDirective a;
+      if (f.size() != 5 || !to_int(f[1], &a.line) || !unesc(f[3], &a.rule_id) ||
+          !unesc(f[4], &a.reason))
+        return {};
+      a.alone_on_line = f[2] == "1";
+      ff.allows.push_back(std::move(a));
+    } else if (tag == "F") {
+      Finding fd;
+      if (f.size() != 4 || !to_int(f[1], &fd.line) || !unesc(f[2], &fd.rule_id) ||
+          !unesc(f[3], &fd.message))
+        return {};
+      fd.path = ff.path;
+      ff.findings.push_back(std::move(fd));
+    } else {
+      return {};
+    }
+    fn = nullptr;  // any non-K/D record closes the open snapshot fn
+  }
+  return cache;
+}
+
+}  // namespace draglint

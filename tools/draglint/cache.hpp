@@ -1,0 +1,45 @@
+// Content-hash incremental cache for pass 1.
+//
+// Pass 1 (lex + per-file rules + fact extraction) dominates a full-tree scan;
+// pass 2 is a few maps over the index.  The cache therefore stores, per file,
+// the FNV-1a hash of its contents plus the complete FileFacts record (which
+// includes the raw per-file findings).  On a warm scan an unchanged file is
+// neither read past hashing nor lexed — its facts are replayed into the index
+// and pass 2 runs fresh, so cross-TU findings always reflect the whole tree.
+//
+// The format is a line-based text file versioned by a fingerprint of the rule
+// table: any rule change, or any format change, invalidates the whole cache
+// (a cold scan is ~1s; correctness beats cleverness here).  A malformed or
+// mismatched cache is silently discarded, never trusted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "index.hpp"
+
+namespace draglint {
+
+struct CacheEntry {
+  std::uint64_t content_hash = 0;
+  FileFacts facts;
+};
+
+struct Cache {
+  /// Keyed by the path draglint reports (root-relative, as scanned).
+  std::map<std::string, CacheEntry> entries;
+};
+
+/// FNV-1a over raw bytes — stable, dependency-free, fast enough to be
+/// negligible next to the read() that feeds it.
+[[nodiscard]] std::uint64_t fnv1a(const std::string& data);
+
+/// Parses a serialized cache.  Returns an empty cache when the text is empty,
+/// has a stale version/rule fingerprint, or fails to parse anywhere.
+[[nodiscard]] Cache parse_cache(const std::string& text);
+
+/// Serializes the cache (stable order: map iteration is sorted by path).
+[[nodiscard]] std::string serialize_cache(const Cache& cache);
+
+}  // namespace draglint

@@ -1,0 +1,49 @@
+// Lexer-hardening corpus: constructs the v1 lexer misread.
+//
+//  - A malformed raw-string prefix (`R"%d"` — `%` is not a valid delimiter
+//    character sequence ending in `(`) made v1 open a raw string and swallow
+//    everything up to the next `(`, hiding the real rand() below it: a false
+//    negative.  The hardened lexer re-reads `R` as an identifier and `"%d"`
+//    as an ordinary string.
+//  - A backslash-newline spliced string broke at the newline and re-lexed the
+//    rest of the literal as code, so words like time(nullptr) inside string
+//    data produced phantom DL001 findings: a false positive.
+//  - A digit separator is only a separator between digits; v1 also consumed
+//    `'` before a non-digit, gluing `1'b'` into one number token and
+//    corrupting every token after it on the line.
+//
+// The exact-set corpus test pins both directions: the findings below must
+// fire, and no line in this file may produce anything else.
+// This file is lint corpus only — it is never compiled or linked.
+#include <cstdlib>
+
+namespace corpus {
+
+int format(const char* spec);
+
+int fake_raw_prefix() {
+  return format(R"%d");  // line 25: ill-formed raw string, lexed as R + "%d"
+}
+
+int hidden_entropy() {
+  return rand();  // line 29: DL001 — v1 never saw this call
+}
+
+const char* spliced =
+    "phantom calls like rand() and \
+time(nullptr) stay inside this spliced literal";  // no findings here
+
+const char* raw_doc = R"doc(
+  rand() srand() std::mutex — words inside a raw string are data, not code
+)doc";
+
+bool scale_check(double x) {
+  return x == 1'000'000.0;  // line 41: DL004 — separators survive, float wins
+}
+
+int glued_separator() {
+  int n = 1'000;     // separator between digits: one number token
+  return n + 1 'b';  // `1 'b'` must stay number + char literal, no finding
+}
+
+}  // namespace corpus

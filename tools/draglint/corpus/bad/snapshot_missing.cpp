@@ -1,0 +1,36 @@
+// DL009 corpus: a Snapshotable class with a data member its save_state()
+// never references.  The member *is* touched by load_state (zeroed), which is
+// exactly the trap: the snapshot round-trips cleanly, parity (DL005) is
+// satisfied, and the field's state is silently dropped on every recovery.
+// Completeness is judged against save_state alone — serialize the field or
+// annotate it with why it is rebuilt rather than saved.
+// This file is lint corpus only — it is never compiled or linked.
+#include <string>
+#include <vector>
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  double get_double(const std::string& key) const;
+};
+
+class RetryLedger : public Snapshotable {
+ public:
+  void save_state(SnapshotWriter& writer) const override {
+    writer.field("round", static_cast<double>(round_));
+  }
+  void load_state(SnapshotReader& reader) override {
+    round_ = static_cast<unsigned>(reader.get_double("round"));
+    backlog_.clear();  // referenced here, but never saved
+  }
+
+ private:
+  unsigned round_ = 0;
+  std::vector<double> backlog_;  // line 33: DL009 — dropped on every recovery
+};
+
+}  // namespace corpus

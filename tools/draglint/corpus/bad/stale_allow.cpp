@@ -1,0 +1,15 @@
+// DL000 corpus, staleness flavor: a well-formed, reasoned allow directive
+// whose excused finding no longer exists.  The comparison it suppressed was
+// refactored away; the directive now silently licenses whatever lands on
+// that line next.  Stale escapes are findings — delete them with the code
+// they excused.
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+double settled(double x) {
+  // draglint:allow(DL004 bit-replay check against the restored checkpoint value)
+  return x * 2.0;  // the equality the line-11 allow excused is gone — DL000 stale there
+}
+
+}  // namespace corpus

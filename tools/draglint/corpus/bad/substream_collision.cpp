@@ -1,0 +1,40 @@
+// DL008 corpus: two counter-based substream derivations with an identical
+// literal label tuple alias the same stream — chaos draws that should be
+// independent become perfectly correlated, which silently invalidates any
+// same-seed comparison between the paths that consume them.  The fix is a
+// unique leading domain tag per consumer.
+//
+// A chain whose label is computed (`label` parameter below) is exempt: the
+// tuple cannot be compared statically, so DL008 stays quiet rather than
+// guessing.
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+struct Rng {
+  Rng substream(const char* label) const;
+  Rng substream(const char* label, unsigned long long index) const;
+  double next_double();
+};
+
+double pod_latency(Rng& rng, unsigned long long pod) {
+  auto stream = rng.substream("chaos", pod).substream("latency");  // first site
+  return stream.next_double();
+}
+
+double link_latency(Rng& rng, unsigned long long pod) {
+  auto stream = rng.substream("chaos", pod).substream("latency");  // line 26: DL008
+  return stream.next_double();
+}
+
+double dynamic_label(Rng& rng, const char* label) {
+  auto stream = rng.substream(label).substream("latency");  // dynamic: exempt
+  return stream.next_double();
+}
+
+double distinct_tag(Rng& rng, unsigned long long pod) {
+  auto stream = rng.substream("brownout", pod).substream("latency");  // unique tag
+  return stream.next_double();
+}
+
+}  // namespace corpus

@@ -1,0 +1,34 @@
+// Lexer edge cases that must stay clean: words that look like violations but
+// live inside string data.  Raw strings (with and without custom delimiters),
+// digit separators, encoding prefixes, and backslash-newline splices are all
+// literal territory — a lexer that leaks any of them back into the token
+// stream produces phantom findings on this file.
+// This file is lint corpus only — it is never compiled or linked.
+
+namespace corpus {
+
+const char* raw_plain = R"(rand() time(nullptr) std::mutex lock)";
+
+const char* raw_delimited = R"seed(
+  srand(42); random_device entropy; throw std::runtime_error("boom");
+)seed";
+
+const char* raw_paren_delim = R"d1(nested )" still inside )d1";
+
+const char* spliced =
+    "first half mentions rand() and \
+the second half mentions time(nullptr)";
+
+const wchar_t* wide_raw = LR"(clock_gettime in wide data)";
+
+int separators() {
+  const int million = 1'000'000;
+  const unsigned long long mask = 0xFF'FF'00'00ULL;
+  return million + static_cast<int>(mask % 7);
+}
+
+double hexfloat_separated() {
+  return 0x1'F.8p3;  // separated hexfloat: one number token, no comparison
+}
+
+}  // namespace corpus

@@ -1,0 +1,55 @@
+// The clean shapes for the cross-TU rules.
+//
+//  - DL009: a Snapshotable class is complete when every data member is either
+//    referenced by save_state() or annotated with a reasoned allow saying why
+//    it is rebuilt instead of saved.
+//  - DL008: substream derivations with distinct leading domain tags never
+//    collide, even when the tail labels repeat.
+// This file is lint corpus only — it is never compiled or linked.
+#include <string>
+#include <vector>
+
+namespace corpus {
+
+struct SnapshotWriter {
+  void field(const std::string& key, double value);
+};
+
+struct SnapshotReader {
+  double get_double(const std::string& key) const;
+};
+
+class ArbiterState : public Snapshotable {
+ public:
+  void save_state(SnapshotWriter& writer) const override {
+    writer.field("round", static_cast<double>(round_));
+    writer.field("carry", carry_);
+  }
+  void load_state(SnapshotReader& reader) override {
+    round_ = static_cast<unsigned>(reader.get_double("round"));
+    carry_ = reader.get_double("carry");
+    scratch_ = {};
+  }
+
+ private:
+  unsigned round_ = 0;
+  double carry_ = 0.0;
+  // draglint:allow(DL009 per-slot scratch, recomputed before every use)
+  std::vector<double> scratch_;
+};
+
+struct Rng {
+  Rng substream(const char* label, unsigned long long index) const;
+  Rng substream(const char* label) const;
+  double next_double();
+};
+
+double pod_noise(Rng& rng, unsigned long long pod) {
+  return rng.substream("pod-noise", pod).substream("latency").next_double();
+}
+
+double link_noise(Rng& rng, unsigned long long pod) {
+  return rng.substream("link-noise", pod).substream("latency").next_double();
+}
+
+}  // namespace corpus

@@ -1,0 +1,7 @@
+// The bottom layer reaching upward: mid already depends on base, so this
+// include closes a cycle.  Lint corpus only — never compiled.
+#include "mid/api.hpp"
+
+namespace corpus::base {
+int util();
+}  // namespace corpus::base

@@ -1,0 +1,7 @@
+// The declared downward edge mid -> base: legal.  Lint corpus only — never
+// compiled.
+#include "base/util.hpp"
+
+namespace corpus::mid {
+int api();
+}  // namespace corpus::mid

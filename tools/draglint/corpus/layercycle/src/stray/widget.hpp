@@ -1,0 +1,7 @@
+// A subsystem missing from layers.txt entirely — DL007 demands every
+// subsystem declare its complete dependency list.  Lint corpus only — never
+// compiled.
+
+namespace corpus::stray {
+int widget();
+}  // namespace corpus::stray

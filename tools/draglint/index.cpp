@@ -1,0 +1,391 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "token_util.hpp"
+
+namespace draglint {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+// ---------------------------------------------------------------------------
+// Include edges
+// ---------------------------------------------------------------------------
+
+void collect_includes(const Tokens& t, FileFacts* facts) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!is_punct(t[i], "#") || !t[i].in_preproc) continue;
+    if (!is_ident(t[i + 1], "include")) continue;
+    const Token& target = t[i + 2];
+    if (target.kind != TokenKind::kString) continue;  // angle includes carry no layer info
+    facts->includes.push_back({target.line, unquote(target.text)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Substream derivation chains
+// ---------------------------------------------------------------------------
+
+void collect_substreams(const Tokens& t, FileFacts* facts) {
+  // First pass: every `substream(` call site with its label and the index of
+  // its closing parenthesis.
+  struct CallSite {
+    std::size_t ident_index = 0;
+    std::size_t close_index = 0;
+    std::string label;
+    bool dynamic = false;
+  };
+  std::vector<CallSite> sites;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!is_ident(t[i], "substream") || !is_punct(at(t, i + 1), "(")) continue;
+    CallSite site;
+    site.ident_index = i;
+    const Token& arg = at(t, i + 2);
+    if (arg.kind == TokenKind::kString) {
+      site.label = unquote(arg.text);
+    } else {
+      site.dynamic = true;
+    }
+    int depth = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++depth;
+      if (is_punct(t[j], ")") && --depth == 0) {
+        site.close_index = j;
+        break;
+      }
+    }
+    if (site.close_index != 0) sites.push_back(site);
+  }
+  // Second pass: link `a.substream(x).substream(y)` into one chain — a call
+  // whose `.`/`->` immediately follows the previous call's `)` extends it.
+  std::vector<SubstreamChain> chains;
+  std::vector<std::size_t> chain_close;  // closing paren of each open chain's tail
+  for (const CallSite& site : sites) {
+    const bool chained =
+        site.ident_index >= 2 &&
+        (is_punct(t[site.ident_index - 1], ".") || is_punct(t[site.ident_index - 1], "->")) &&
+        !chain_close.empty() && chain_close.back() == site.ident_index - 2;
+    if (chained) {
+      chains.back().labels.push_back(site.dynamic ? "<dynamic>" : site.label);
+      chains.back().dynamic = chains.back().dynamic || site.dynamic;
+      chain_close.back() = site.close_index;
+    } else {
+      SubstreamChain chain;
+      chain.line = t[site.ident_index].line;
+      chain.dynamic = site.dynamic;
+      chain.labels.push_back(site.dynamic ? "<dynamic>" : site.label);
+      chains.push_back(chain);
+      chain_close.push_back(site.close_index);
+    }
+  }
+  facts->substreams = std::move(chains);
+}
+
+// ---------------------------------------------------------------------------
+// Class extents, member fields, snapshot function bodies
+// ---------------------------------------------------------------------------
+
+struct ClassExtent {
+  std::size_t open = 0;   ///< index of the body `{`
+  std::size_t close = 0;  ///< index of the matching `}`
+  int line = 0;
+  bool snapshotable_base = false;
+  std::string name;
+};
+
+std::size_t matching_brace(const Tokens& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (is_punct(t[i], "{")) ++depth;
+    if (is_punct(t[i], "}") && --depth == 0) return i;
+  }
+  return t.size();
+}
+
+std::vector<ClassExtent> collect_class_extents(const Tokens& t) {
+  std::vector<ClassExtent> extents;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if ((!is_ident(t[i], "class") && !is_ident(t[i], "struct")) || is_ident(at(t, i - 1), "enum"))
+      continue;
+    if (at(t, i + 1).kind != TokenKind::kIdentifier) continue;
+    ClassExtent extent;
+    extent.name = at(t, i + 1).text;
+    extent.line = t[i].line;
+    // Find the body `{` before any `;` (a `;` first means forward declaration
+    // or a variable of elaborated type); base-clause tokens sit in between.
+    for (std::size_t j = i + 2; j < t.size(); ++j) {
+      if (is_punct(t[j], ";")) break;
+      if (is_ident(t[j], "Snapshotable")) extent.snapshotable_base = true;
+      if (is_punct(t[j], "{")) {
+        extent.open = j;
+        extent.close = matching_brace(t, j);
+        extents.push_back(extent);
+        break;
+      }
+    }
+  }
+  return extents;
+}
+
+/// Keywords that open a class-body statement which can never declare a
+/// non-static data member.
+bool non_member_statement_start(const Token& tok) {
+  static const char* const kStarts[] = {"using",  "typedef",   "friend", "static", "template",
+                                        "operator", "class",   "struct", "enum",   "union",
+                                        "constexpr", "inline"};
+  return std::any_of(std::begin(kStarts), std::end(kStarts),
+                     [&](const char* s) { return is_ident(tok, s); });
+}
+
+/// Extracts the non-static data members declared directly in [open, close].
+/// Nested class bodies are skipped wholesale — they get their own extents.
+void extract_members(const Tokens& t, std::size_t open, std::size_t close, ClassFacts* out) {
+  std::size_t i = open + 1;
+  while (i < close) {
+    // Access specifiers.
+    if ((is_ident(t[i], "public") || is_ident(t[i], "private") || is_ident(t[i], "protected")) &&
+        is_punct(at(t, i + 1), ":")) {
+      i += 2;
+      continue;
+    }
+    if (is_punct(t[i], ";")) {
+      ++i;
+      continue;
+    }
+    const bool skip_statement = non_member_statement_start(t[i]);
+    bool saw_eq = false;
+    bool saw_params = false;
+    bool saw_operator = false;  // `T& operator=(...)` — the `=` is the name,
+                                // not an initializer; never a data member
+    std::string name;
+    int name_line = 0;
+    std::size_t j = i;
+    auto emit = [&] {
+      if (!skip_statement && !saw_params && !saw_operator && !name.empty())
+        out->members.push_back({name_line, name});
+      saw_eq = false;
+      saw_params = false;
+      saw_operator = false;
+      name.clear();
+    };
+    while (j < close) {
+      const Token& tok = t[j];
+      if (is_punct(tok, ";")) {
+        emit();
+        ++j;
+        break;
+      }
+      if (is_punct(tok, ",") && !saw_eq) {
+        // `double a, b;` — finalize this declarator, start the next.
+        emit();
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "{")) {
+        const std::size_t end = matching_brace(t, j);
+        if (saw_params && !saw_eq && !skip_statement) {
+          // Inline function definition: the braces end the statement.
+          saw_params = true;  // ensure no emit
+          j = end + 1;
+          if (is_punct(at(t, j), ";")) ++j;
+          break;
+        }
+        // Braced initializer (`std::vector<double> v{0.5, 1.0};`) or a
+        // skipped nested-type body: jump past it either way.
+        j = end + 1;
+        continue;
+      }
+      if (is_punct(tok, "(") && !saw_eq) {
+        saw_params = true;  // function declaration (in-class members use = or {})
+        int depth = 0;
+        for (; j < close; ++j) {
+          if (is_punct(t[j], "(")) ++depth;
+          if (is_punct(t[j], ")") && --depth == 0) break;
+        }
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "=")) {
+        saw_eq = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(tok, "<") && at(t, j - 1).kind == TokenKind::kIdentifier) {
+        j = skip_template_args(t, j);
+        continue;
+      }
+      if (is_punct(tok, "[")) {
+        // Array bound or attribute: the declarator name is already recorded.
+        int depth = 0;
+        for (; j < close; ++j) {
+          if (is_punct(t[j], "[")) ++depth;
+          if (is_punct(t[j], "]") && --depth == 0) break;
+        }
+        ++j;
+        continue;
+      }
+      if (tok.kind == TokenKind::kIdentifier && !saw_eq && !saw_params) {
+        if (tok.text == "operator") saw_operator = true;
+        name = tok.text;
+        name_line = tok.line;
+      }
+      ++j;
+    }
+    if (j >= close) break;
+    i = j;
+  }
+}
+
+/// Collects literal snapshot keys and referenced identifiers inside a
+/// save_state/load_state body [open, close].
+void scan_snapshot_body(const Tokens& t, std::size_t open, std::size_t close, bool saving,
+                        SnapshotFn* fn) {
+  static const std::set<std::string> readers = {"get_double", "get_int",     "get_uint",
+                                                "get_string", "get_doubles", "get_ints",
+                                                "has_key"};
+  for (std::size_t i = open; i < close; ++i) {
+    if (t[i].kind != TokenKind::kIdentifier) continue;
+    fn->idents.insert(t[i].text);
+    const bool hit = saving ? t[i].text == "field" : readers.count(t[i].text) != 0U;
+    if (!hit || !is_punct(at(t, i + 1), "(")) continue;
+    const Token& arg = at(t, i + 2);
+    if (arg.kind == TokenKind::kString) {
+      fn->keys.insert(unquote(arg.text));
+    } else {
+      fn->dynamic_keys = true;
+    }
+  }
+}
+
+void collect_snapshot_fns(const Tokens& t, const std::vector<ClassExtent>& extents,
+                          FileFacts* facts) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool save = is_ident(t[i], "save_state");
+    const bool load = is_ident(t[i], "load_state");
+    if ((!save && !load) || !is_punct(at(t, i + 1), "(")) continue;
+    // Owner: `X::save_state` beats the innermost enclosing class extent.
+    std::string owner;
+    if (is_punct(at(t, i - 1), "::") && at(t, i - 2).kind == TokenKind::kIdentifier) {
+      owner = at(t, i - 2).text;
+    } else {
+      for (const ClassExtent& extent : extents)
+        if (extent.open < i && i < extent.close) owner = extent.name;  // innermost wins (later)
+      if (owner.empty()) owner = "<file>";
+    }
+    // Find the body: skip the parameter list, then expect `{` (possibly after
+    // const/override/final/noexcept).  A `;` first means declaration only.
+    std::size_t j = i + 1;
+    int paren = 0;
+    for (; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++paren;
+      if (is_punct(t[j], ")") && --paren == 0) break;
+    }
+    std::size_t open = 0;
+    for (++j; j < t.size(); ++j) {
+      if (is_punct(t[j], ";") || is_punct(t[j], "=")) break;  // declaration or `= 0`
+      if (is_punct(t[j], "{")) {
+        open = j;
+        break;
+      }
+    }
+    if (open == 0) continue;
+    const std::size_t close = matching_brace(t, open);
+    SnapshotFn fn;
+    fn.line = t[i].line;
+    scan_snapshot_body(t, open, close, save, &fn);
+    (save ? facts->saves : facts->loads)[owner].push_back(std::move(fn));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TaskPool call sites
+// ---------------------------------------------------------------------------
+
+void collect_pool_sites(const Tokens& t, FileFacts* facts) {
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const bool fan = is_ident(t[i], "for_each") || is_ident(t[i], "submit");
+    if (!fan || !is_punct(at(t, i + 1), "(")) continue;
+    PoolSite site;
+    site.line = t[i].line;
+    site.kind = t[i].text;
+    // The capture list of the first lambda argument, if any.
+    int depth = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      if (is_punct(t[j], "(")) ++depth;
+      if (is_punct(t[j], ")") && --depth == 0) break;
+      if (depth >= 1 && is_punct(t[j], "[") && site.captures.empty()) {
+        std::string text;
+        int brackets = 0;
+        for (std::size_t k = j; k < t.size(); ++k) {
+          if (!text.empty() && t[k].kind == TokenKind::kIdentifier &&
+              at(t, k - 1).kind == TokenKind::kIdentifier)
+            text += ' ';
+          text += t[k].text;
+          if (is_punct(t[k], "[")) ++brackets;
+          if (is_punct(t[k], "]") && --brackets == 0) break;
+        }
+        site.captures = text;
+      }
+    }
+    facts->pool_sites.push_back(site);
+  }
+}
+
+}  // namespace
+
+FileFacts build_facts(const LexedFile& file, bool library_scope) {
+  FileFacts facts;
+  facts.path = file.path;
+  facts.library_scope = library_scope;
+  facts.allows = file.allows;
+  collect_includes(file.tokens, &facts);
+  collect_substreams(file.tokens, &facts);
+  const std::vector<ClassExtent> extents = collect_class_extents(file.tokens);
+  for (const ClassExtent& extent : extents) {
+    ClassFacts cls;
+    cls.name = extent.name;
+    cls.line = extent.line;
+    cls.snapshotable_base = extent.snapshotable_base;
+    extract_members(file.tokens, extent.open, extent.close, &cls);
+    facts.classes.push_back(std::move(cls));
+  }
+  collect_snapshot_fns(file.tokens, extents, &facts);
+  collect_pool_sites(file.tokens, &facts);
+  return facts;
+}
+
+std::string dump_index(const ProjectIndex& index) {
+  std::ostringstream out;
+  for (const FileFacts& file : index.files) {
+    out << "file " << file.path << (file.library_scope ? " [library]" : "") << "\n";
+    for (const IncludeSite& inc : file.includes)
+      out << "  include " << inc.target << " @" << inc.line << "\n";
+    for (const SubstreamChain& chain : file.substreams) {
+      out << "  substream (";
+      for (std::size_t i = 0; i < chain.labels.size(); ++i)
+        out << (i != 0U ? ", " : "") << '"' << chain.labels[i] << '"';
+      out << ") @" << chain.line << (chain.dynamic ? " [dynamic]" : "") << "\n";
+    }
+    for (const ClassFacts& cls : file.classes) {
+      out << "  class " << cls.name << " @" << cls.line
+          << (cls.snapshotable_base ? " : Snapshotable" : "") << " members=" << cls.members.size();
+      for (const MemberField& member : cls.members) out << " " << member.name;
+      out << "\n";
+    }
+    for (const auto& [owner, fns] : file.saves)
+      for (const SnapshotFn& fn : fns)
+        out << "  save_state " << owner << " @" << fn.line << " keys=" << fn.keys.size()
+            << (fn.dynamic_keys ? " [dynamic]" : "") << "\n";
+    for (const auto& [owner, fns] : file.loads)
+      for (const SnapshotFn& fn : fns)
+        out << "  load_state " << owner << " @" << fn.line << " keys=" << fn.keys.size()
+            << (fn.dynamic_keys ? " [dynamic]" : "") << "\n";
+    for (const PoolSite& site : file.pool_sites)
+      out << "  pool." << site.kind << " " << site.captures << " @" << site.line << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace draglint

@@ -15,6 +15,13 @@ const char* const kPunct2[] = {"::", "==", "!=", "<=", ">=", "&&", "||", "<<", "
                                "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
                                ".*", "##"};
 
+/// A raw-string d-char: anything but parentheses, backslash and whitespace
+/// ([lex.string]); the standard also caps the delimiter at 16 characters.
+bool is_raw_delim_char(char c) {
+  return c != '(' && c != ')' && c != '\\' && c != '"' && c != ' ' && c != '\t' && c != '\n' &&
+         c != '\r' && c != '\v' && c != '\f';
+}
+
 /// Parses a `draglint:allow(RULE reason)` directive out of a comment body.
 /// Returns false when the comment is not an allow directive at all.
 bool parse_allow(const std::string& comment, AllowDirective* out) {
@@ -116,40 +123,62 @@ LexedFile lex(const std::string& path, const std::string& text) {
       ++i;
       continue;
     }
-    // Raw string literal: (prefix)R"delim( ... )delim".
+    // Raw string literal: (prefix)R"delim( ... )delim".  The delimiter must
+    // be made of valid d-chars, at most 16 of them, with the `(` on the same
+    // line — `R"%d"` (an R macro glued to a format string) is NOT a raw
+    // string, and treating it as one used to swallow everything up to the
+    // next `(` in the file, hiding real findings behind a phantom literal.
     if (c == 'R' || ((c == 'u' || c == 'U' || c == 'L') && i + 1 < n &&
                      (text[i + 1] == 'R' || (text[i + 1] == '8' && i + 2 < n && text[i + 2] == 'R')))) {
       std::size_t r = i;
       while (r < n && text[r] != 'R' && r - i < 3) ++r;
       if (r < n && text[r] == 'R' && r + 1 < n && text[r + 1] == '"') {
         std::size_t delim_end = r + 2;
-        while (delim_end < n && text[delim_end] != '(') ++delim_end;
-        const std::string close = ")" + text.substr(r + 2, delim_end - r - 2) + "\"";
-        const std::size_t end = text.find(close, delim_end);
-        const std::size_t stop = end == std::string::npos ? n : end + close.size();
-        const int start_line = line;
-        for (std::size_t k = i; k < stop; ++k)
-          if (text[k] == '\n') newline();
-        file.tokens.push_back(
-            {TokenKind::kString, text.substr(i, stop - i), start_line, in_preproc});
-        line_has_code = true;
-        i = stop;
-        continue;
+        while (delim_end < n && delim_end - (r + 2) <= 16 && is_raw_delim_char(text[delim_end]))
+          ++delim_end;
+        if (delim_end < n && text[delim_end] == '(' && delim_end - (r + 2) <= 16) {
+          const std::string close = ")" + text.substr(r + 2, delim_end - r - 2) + "\"";
+          const std::size_t end = text.find(close, delim_end);
+          const std::size_t stop = end == std::string::npos ? n : end + close.size();
+          const int start_line = line;
+          const bool preproc = in_preproc;
+          for (std::size_t k = i; k < stop; ++k)
+            if (text[k] == '\n') newline();
+          file.tokens.push_back({TokenKind::kString, text.substr(i, stop - i), start_line, preproc});
+          line_has_code = true;
+          i = stop;
+          continue;
+        }
+        // Malformed delimiter: fall through — `R` lexes as (part of) an
+        // identifier and the quote opens an ordinary string literal.
       }
     }
     // Ordinary string / char literal (with optional encoding prefix handled
     // by falling through from the identifier branch below).
     if (c == '"' || c == '\'') {
       const char quote = c;
+      const int start_line = line;
+      int continuations = 0;  // backslash-newline splices inside the literal
       std::size_t j = i + 1;
       while (j < n && text[j] != quote) {
-        if (text[j] == '\\' && j + 1 < n) ++j;
-        if (text[j] == '\n') break;  // unterminated: stop at end of line
+        if (text[j] == '\\' && j + 1 < n) {
+          // An escape sequence — including `\<newline>` line splicing, which
+          // continues the literal on the next source line rather than ending
+          // the token (the old lexer broke here and re-lexed literal text as
+          // code, inventing findings out of string contents).
+          if (text[j + 1] == '\n') ++continuations;
+          ++j;
+        } else if (text[j] == '\n') {
+          break;  // unterminated: stop at end of line
+        }
         ++j;
       }
       const std::size_t stop = j < n && text[j] == quote ? j + 1 : j;
       file.tokens.push_back({quote == '"' ? TokenKind::kString : TokenKind::kChar,
-                             text.substr(i, stop - i), line, in_preproc});
+                             text.substr(i, stop - i), start_line, in_preproc});
+      // Spliced newlines advance the line counter but keep the directive
+      // state: a backslash-newline continues a #define rather than ending it.
+      line += continuations;
       line_has_code = true;
       i = stop;
       continue;
@@ -160,7 +189,16 @@ LexedFile lex(const std::string& path, const std::string& text) {
       std::size_t j = i + 1;
       while (j < n) {
         const char d = text[j];
-        if (ident_char(d) || d == '.' || d == '\'') {
+        if (d == '\'') {
+          // Digit separator: only valid between alphanumerics (`1'000'000`,
+          // `0xFF'FF`).  A bare apostrophe after a number opens a character
+          // literal — consuming it used to glue `1'b'` into one number token.
+          if (j + 1 < n && std::isalnum(static_cast<unsigned char>(text[j + 1]))) {
+            j += 2;
+          } else {
+            break;
+          }
+        } else if (ident_char(d) || d == '.') {
           ++j;
         } else if ((d == '+' || d == '-') &&
                    (text[j - 1] == 'e' || text[j - 1] == 'E' || text[j - 1] == 'p' ||

@@ -8,9 +8,21 @@
 //   --root DIR     repository root (default: current directory)
 //   --fix-list     one `file:line: RULE-ID message` line per finding, nothing
 //                  else — the format CI and editors consume
-//   --assume-src   apply the src/-scoped rules (DL001/3/4/5) to every scanned
-//                  file, not only paths under src/ (used by the corpus tests)
+//   --assume-src   apply the src/-scoped rules to every scanned file, not
+//                  only paths under src/ (used by the corpus tests)
+//   --layers FILE  layer DAG declaration for DL007 (default:
+//                  <root>/tools/draglint/layers.txt; when the default is
+//                  absent DL007 is skipped, an explicit FILE must exist)
+//   --sarif [FILE] also write a SARIF 2.1.0 report (default: draglint.sarif)
+//   --cache FILE   incremental cache: reuse pass-1 facts for files whose
+//                  content hash is unchanged, rewrite FILE after the scan
+//   --dump-index   print the assembled project index instead of findings
 //   --rules        print the rule table and exit
+//
+// The scan is two passes: pass 1 distills every file into a FileFacts record
+// (cacheable), pass 2 runs the cross-TU rules (DL005/DL007/DL008/DL009) over
+// the assembled index, and allow directives are applied once, globally, so a
+// reasoned allow that suppresses nothing is itself reported stale (DL000).
 //
 // Exit status: 0 clean, 1 findings, 2 usage or I/O error.
 #include <algorithm>
@@ -21,8 +33,12 @@
 #include <string>
 #include <vector>
 
+#include "cache.hpp"
+#include "index.hpp"
 #include "lexer.hpp"
+#include "project_rules.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 namespace {
 
@@ -65,6 +81,15 @@ std::vector<fs::path> collect_files(const std::vector<fs::path>& roots, std::str
   return files;
 }
 
+bool read_file(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +97,11 @@ int main(int argc, char** argv) {
   fs::path base = ".";
   bool fix_list = false;
   bool assume_src = false;
+  bool want_dump = false;
+  bool want_sarif = false;
+  std::string sarif_path = "draglint.sarif";
+  std::string cache_path;
+  std::string layers_path;  // empty: use the default under --root
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,19 +109,37 @@ int main(int argc, char** argv) {
       fix_list = true;
     } else if (arg == "--assume-src") {
       assume_src = true;
+    } else if (arg == "--dump-index") {
+      want_dump = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) {
         std::cerr << "draglint: --root needs a directory\n";
         return 2;
       }
       base = argv[++i];
+    } else if (arg == "--layers") {
+      if (i + 1 >= argc) {
+        std::cerr << "draglint: --layers needs a file\n";
+        return 2;
+      }
+      layers_path = argv[++i];
+    } else if (arg == "--cache") {
+      if (i + 1 >= argc) {
+        std::cerr << "draglint: --cache needs a file\n";
+        return 2;
+      }
+      cache_path = argv[++i];
+    } else if (arg == "--sarif") {
+      // The operand is optional so bare `draglint --sarif` works in CI.
+      want_sarif = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') sarif_path = argv[++i];
     } else if (arg == "--rules") {
       for (const draglint::RuleInfo& rule : draglint::rule_table())
         std::cout << rule.id << "  " << rule.name << "\n    " << rule.summary << "\n";
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: draglint [--root DIR] [--fix-list] [--assume-src] [--rules] "
-                   "[path...]\n";
+      std::cout << "usage: draglint [--root DIR] [--fix-list] [--assume-src] [--layers FILE] "
+                   "[--sarif [FILE]] [--cache FILE] [--dump-index] [--rules] [path...]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "draglint: unknown option " << arg << "\n";
@@ -118,36 +166,101 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<draglint::Finding> findings;
+  // Layer DAG: an explicitly named file must exist; the default location is
+  // optional (a tree without layers.txt simply has no DL007 coverage yet).
+  draglint::LayerGraph layers;
+  bool have_layers = false;
+  {
+    const bool explicit_layers = !layers_path.empty();
+    const fs::path candidate =
+        explicit_layers ? fs::path(layers_path) : base / "tools" / "draglint" / "layers.txt";
+    std::string text;
+    if (read_file(candidate, &text)) {
+      std::string parse_error;
+      if (!draglint::LayerGraph::parse(text, &layers, &parse_error)) {
+        std::cerr << "draglint: " << candidate.generic_string() << ": " << parse_error << "\n";
+        return 2;
+      }
+      have_layers = true;
+    } else if (explicit_layers) {
+      std::cerr << "draglint: cannot read " << candidate.generic_string() << "\n";
+      return 2;
+    }
+  }
+
+  draglint::Cache old_cache;
+  if (!cache_path.empty()) {
+    std::string text;
+    if (read_file(cache_path, &text)) old_cache = draglint::parse_cache(text);
+  }
+
+  // Pass 1: per-file facts and raw per-file findings, cache-aware.
+  draglint::ProjectIndex index;
+  draglint::Cache new_cache;
+  std::size_t cache_hits = 0;
   for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    std::string text;
+    if (!read_file(path, &text)) {
       std::cerr << "draglint: cannot read " << path << "\n";
       return 2;
     }
-    std::ostringstream text;
-    text << in.rdbuf();
-    const draglint::LexedFile lexed = draglint::lex(path.generic_string(), text.str());
+    const std::string key = path.generic_string();
+    const std::uint64_t hash = draglint::fnv1a(text);
     const bool library_scope = assume_src || under_src(path);
-    for (draglint::Finding& f : draglint::scan_file(lexed, library_scope))
-      findings.push_back(std::move(f));
+
+    const auto hit = old_cache.entries.find(key);
+    if (hit != old_cache.entries.end() && hit->second.content_hash == hash &&
+        hit->second.facts.library_scope == library_scope) {
+      ++cache_hits;
+      index.files.push_back(hit->second.facts);
+    } else {
+      const draglint::LexedFile lexed = draglint::lex(key, text);
+      draglint::FileFacts facts = draglint::build_facts(lexed, library_scope);
+      facts.findings = draglint::run_file_rules(lexed, library_scope);
+      index.files.push_back(std::move(facts));
+    }
+    if (!cache_path.empty()) new_cache.entries[key] = {hash, index.files.back()};
   }
 
-  std::sort(findings.begin(), findings.end(),
-            [](const draglint::Finding& a, const draglint::Finding& b) {
-              if (a.path != b.path) return a.path < b.path;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule_id < b.rule_id;
-            });
+  if (want_dump) {
+    std::cout << draglint::dump_index(index);
+    return 0;
+  }
+
+  // Pass 2: cross-TU rules over the assembled index, then global allow
+  // application and DL000 hygiene.
+  std::vector<draglint::Finding> findings;
+  for (const draglint::FileFacts& facts : index.files)
+    findings.insert(findings.end(), facts.findings.begin(), facts.findings.end());
+  const std::vector<draglint::Finding> project =
+      draglint::run_project_rules(index, have_layers ? &layers : nullptr);
+  findings.insert(findings.end(), project.begin(), project.end());
+  findings = draglint::finalize_findings(index, std::move(findings));
+
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+    if (out) out << draglint::serialize_cache(new_cache);
+    // A cache that fails to write is only a lost optimization, not an error.
+  }
 
   for (const draglint::Finding& f : findings)
     std::cout << f.path << ":" << f.line << ": " << f.rule_id << " " << f.message << "\n";
+  if (want_sarif) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "draglint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << draglint::to_sarif(findings, base.generic_string());
+  }
   if (!fix_list) {
+    std::ostringstream tail;
+    if (cache_hits != 0) tail << ", " << cache_hits << " cached";
     if (findings.empty())
-      std::cout << "draglint: clean (" << files.size() << " files)\n";
+      std::cout << "draglint: clean (" << files.size() << " files" << tail.str() << ")\n";
     else
       std::cout << "draglint: " << findings.size() << " finding(s) in " << files.size()
-                << " files scanned\n";
+                << " files scanned" << tail.str() << "\n";
   }
   return findings.empty() ? 0 : 1;
 }

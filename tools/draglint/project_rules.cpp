@@ -1,0 +1,374 @@
+#include "project_rules.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace draglint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// layers.txt
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> parts;
+  std::istringstream stream(line);
+  for (std::string word; stream >> word;) parts.push_back(word);
+  return parts;
+}
+
+/// Depth-first cycle check over the declared dependency graph.
+bool has_cycle(const std::map<std::string, std::set<std::string>>& deps, std::string* where) {
+  std::map<std::string, int> state;  // 0 unvisited, 1 on stack, 2 done
+  // Iterative DFS with an explicit stack so deep graphs cannot overflow.
+  for (const auto& [start, unused] : deps) {
+    (void)unused;
+    if (state[start] != 0) continue;
+    std::vector<std::pair<std::string, std::set<std::string>::const_iterator>> stack;
+    state[start] = 1;
+    stack.emplace_back(start, deps.at(start).begin());
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == deps.at(node).end()) {
+        state[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const std::string next = *it++;
+      if (state[next] == 1) {
+        *where = next + " <-> " + node;
+        return true;
+      }
+      if (state[next] == 0) {
+        state[next] = 1;
+        stack.emplace_back(next, deps.at(next).begin());
+      }
+    }
+  }
+  return false;
+}
+
+/// The subsystem a src/ file belongs to: the path component after the first
+/// `src` component, when a further component (the file) follows.  Empty for
+/// anything else — bench, examples, tools, the corpus.
+std::string subsystem_of(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t end = path.find('/', begin);
+    parts.push_back(path.substr(begin, end == std::string::npos ? std::string::npos : end - begin));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  for (std::size_t i = 0; i + 2 < parts.size(); ++i)
+    if (parts[i] == "src") return parts[i + 1];
+  return std::string();
+}
+
+/// True when `to` is reachable from `from` in the declared graph — used to
+/// phrase an undeclared edge as the cycle it would create.
+bool reachable(const std::map<std::string, std::set<std::string>>& deps, const std::string& from,
+               const std::string& to) {
+  std::set<std::string> seen;
+  std::vector<std::string> todo{from};
+  while (!todo.empty()) {
+    const std::string node = todo.back();
+    todo.pop_back();
+    if (node == to) return true;
+    if (!seen.insert(node).second) continue;
+    const auto it = deps.find(node);
+    if (it == deps.end()) continue;
+    todo.insert(todo.end(), it->second.begin(), it->second.end());
+  }
+  return false;
+}
+
+void rule_layer_boundary(const ProjectIndex& index, const LayerGraph& layers,
+                         std::vector<Finding>* out) {
+  for (const FileFacts& file : index.files) {
+    std::string from = subsystem_of(file.path);
+    if (from.empty()) continue;  // not a src/<subsystem>/ file
+    // A pinned header is accounted to its pinned layer on both sides.
+    for (const auto& [suffix, home] : layers.pins)
+      if (file.path.size() >= suffix.size() &&
+          file.path.compare(file.path.size() - suffix.size(), suffix.size(), suffix) == 0)
+        from = home;
+    const auto from_it = layers.deps.find(from);
+    if (from_it == layers.deps.end()) {
+      out->push_back({"DL007", file.path, 1,
+                      "subsystem '" + from +
+                          "' is not declared in layers.txt — add it with its complete "
+                          "dependency list (see CONTRIBUTING.md)"});
+      continue;
+    }
+    for (const IncludeSite& include : file.includes) {
+      const std::size_t slash = include.target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      std::string to = include.target.substr(0, slash);
+      const auto pin = layers.pins.find(include.target);
+      if (pin != layers.pins.end()) to = pin->second;
+      if (to == from) continue;  // same subsystem
+      if (layers.deps.find(to) == layers.deps.end()) continue;  // not a layered subsystem
+      if (from_it->second.count(to) != 0U) continue;            // declared edge
+      std::string message = "layer boundary: " + from + " may not include \"" + include.target +
+                            "\" (" + to + " is not in " + from + "'s declared dependencies";
+      message += reachable(layers.deps, to, from)
+                     ? ", and " + to + " already depends on " + from +
+                           " — this edge would create a cycle)"
+                     : " — amend tools/draglint/layers.txt if the layering should change)";
+      out->push_back({"DL007", file.path, include.line, message});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DL008 — substream key-tuple collisions
+// ---------------------------------------------------------------------------
+
+void rule_substream_collision(const ProjectIndex& index, std::vector<Finding>* out) {
+  struct Site {
+    std::string path;
+    int line = 0;
+  };
+  std::map<std::string, Site> first_site;  // joined tuple -> first site in scan order
+  for (const FileFacts& file : index.files) {
+    if (!file.library_scope) continue;
+    for (const SubstreamChain& chain : file.substreams) {
+      if (chain.dynamic) continue;  // computed labels: not comparable statically
+      std::string key;
+      std::string pretty;
+      for (const std::string& label : chain.labels) {
+        key += label;
+        key += '\x1f';
+        pretty += (pretty.empty() ? "\"" : ", \"") + label + "\"";
+      }
+      const auto [it, inserted] = first_site.emplace(key, Site{file.path, chain.line});
+      if (inserted) continue;
+      out->push_back({"DL008", file.path, chain.line,
+                      "substream key collision: tuple (" + pretty + ") is also derived at " +
+                          it->second.path + ":" + std::to_string(it->second.line) +
+                          " — identical domain-tag tuples alias the same stream, correlating "
+                          "draws that must be independent; make the leading domain tag unique"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DL005 — snapshot key parity (cross-TU) and DL009 — snapshot completeness
+// ---------------------------------------------------------------------------
+
+struct MergedFn {
+  std::set<std::string> keys;
+  std::set<std::string> idents;
+  bool dynamic = false;
+  bool present = false;
+  std::string path;  ///< first body in scan order, for reporting
+  int line = 0;
+};
+
+void merge_fns(const std::string& path, const std::vector<SnapshotFn>& fns, MergedFn* merged) {
+  for (const SnapshotFn& fn : fns) {
+    if (!merged->present) {
+      merged->path = path;
+      merged->line = fn.line;
+    }
+    merged->present = true;
+    merged->dynamic = merged->dynamic || fn.dynamic_keys;
+    merged->keys.insert(fn.keys.begin(), fn.keys.end());
+    merged->idents.insert(fn.idents.begin(), fn.idents.end());
+  }
+}
+
+void rule_snapshots(const ProjectIndex& index, std::vector<Finding>* out) {
+  // Merge save/load bodies per owner.  "<file>" owners never merge across
+  // files — scope them by path.
+  std::map<std::string, MergedFn> saves;
+  std::map<std::string, MergedFn> loads;
+  for (const FileFacts& file : index.files) {
+    if (!file.library_scope) continue;
+    for (const auto& [owner, fns] : file.saves)
+      merge_fns(file.path, fns, &saves[owner == "<file>" ? file.path + "\x1f<file>" : owner]);
+    for (const auto& [owner, fns] : file.loads)
+      merge_fns(file.path, fns, &loads[owner == "<file>" ? file.path + "\x1f<file>" : owner]);
+  }
+
+  // DL005: key parity between the merged save and load sides.
+  for (const auto& [owner, save] : saves) {
+    const auto it = loads.find(owner);
+    if (it == loads.end() || !it->second.present || !save.present) continue;
+    const MergedFn& load = it->second;
+    if (save.dynamic || load.dynamic) continue;  // undecidable statically
+    const std::string display = owner.substr(0, owner.find('\x1f'));
+    for (const std::string& key : save.keys)
+      if (load.keys.count(key) == 0U)
+        out->push_back({"DL005", save.path, save.line,
+                        "snapshot parity: key '" + key + "' written in " + display +
+                            "::save_state but never read in load_state"});
+    for (const std::string& key : load.keys)
+      if (save.keys.count(key) == 0U)
+        out->push_back({"DL005", load.path, load.line,
+                        "snapshot parity: key '" + key + "' read in " + display +
+                            "::load_state but never written in save_state"});
+  }
+
+  // DL009: every field of a Snapshotable class must be referenced by its
+  // save_state body (or carry a reasoned allow on its declaration line).
+  // "Snapshotable" means: declares the Snapshotable base, or has both a
+  // save_state and a load_state body somewhere in the scanned tree.
+  for (const FileFacts& file : index.files) {
+    if (!file.library_scope) continue;
+    for (const ClassFacts& cls : file.classes) {
+      const auto save = saves.find(cls.name);
+      if (save == saves.end() || !save->second.present) continue;
+      const bool snapshotable =
+          cls.snapshotable_base || (loads.count(cls.name) != 0U && loads.at(cls.name).present);
+      if (!snapshotable) continue;
+      for (const MemberField& member : cls.members) {
+        if (save->second.idents.count(member.name) != 0U) continue;
+        out->push_back({"DL009", file.path, member.line,
+                        "snapshot completeness: field '" + member.name + "' of Snapshotable "
+                        "class " + cls.name + " is never referenced in " + cls.name +
+                            "::save_state (" + save->second.path + ":" +
+                            std::to_string(save->second.line) +
+                            ") — serialize it, or annotate the field with why it is rebuilt "
+                            "rather than saved"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool LayerGraph::parse(const std::string& text, LayerGraph* out, std::string* error) {
+  std::istringstream stream(text);
+  int line_no = 0;
+  std::vector<std::pair<std::string, std::vector<std::string>>> decls;
+  for (std::string line; std::getline(stream, line); ) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> parts = split_ws(line);
+    if (parts.empty()) continue;
+    if (parts[0] == "pin") {
+      if (parts.size() != 3) {
+        *error = "layers.txt:" + std::to_string(line_no) + ": pin wants '<header> <subsystem>'";
+        return false;
+      }
+      out->pins[parts[1]] = parts[2];
+      continue;
+    }
+    if (parts[0].empty() || parts[0].back() != ':') {
+      *error = "layers.txt:" + std::to_string(line_no) +
+               ": expected '<subsystem>: <dep>...' or 'pin <header> <subsystem>'";
+      return false;
+    }
+    const std::string name = parts[0].substr(0, parts[0].size() - 1);
+    if (out->deps.count(name) != 0U) {
+      *error = "layers.txt:" + std::to_string(line_no) + ": subsystem '" + name +
+               "' declared twice";
+      return false;
+    }
+    out->deps[name];  // declare, possibly with no deps
+    decls.emplace_back(name, std::vector<std::string>(parts.begin() + 1, parts.end()));
+  }
+  for (const auto& [name, deps] : decls)
+    for (const std::string& dep : deps) {
+      if (out->deps.count(dep) == 0U) {
+        *error = "layers.txt: subsystem '" + name + "' depends on undeclared '" + dep + "'";
+        return false;
+      }
+      out->deps[name].insert(dep);
+    }
+  for (const auto& [suffix, home] : out->pins)
+    if (out->deps.count(home) == 0U) {
+      *error = "layers.txt: pin '" + suffix + "' targets undeclared subsystem '" + home + "'";
+      return false;
+    }
+  std::string where;
+  if (has_cycle(out->deps, &where)) {
+    *error = "layers.txt: the declared dependency graph is cyclic (" + where +
+             ") — DL007 needs a DAG";
+    return false;
+  }
+  return true;
+}
+
+std::vector<Finding> run_project_rules(const ProjectIndex& index, const LayerGraph* layers) {
+  std::vector<Finding> findings;
+  if (layers != nullptr) rule_layer_boundary(index, *layers, &findings);
+  rule_substream_collision(index, &findings);
+  rule_snapshots(index, &findings);
+  return findings;
+}
+
+std::vector<Finding> finalize_findings(const ProjectIndex& index, std::vector<Finding> raw) {
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+    return a.message < b.message;
+  });
+  // One line can trip the same rule twice (e.g. `.begin()` and `.end()` in a
+  // single loop header) — report it once.
+  raw.erase(std::unique(raw.begin(), raw.end(),
+                        [](const Finding& a, const Finding& b) {
+                          return a.path == b.path && a.line == b.line &&
+                                 a.rule_id == b.rule_id && a.message == b.message;
+                        }),
+            raw.end());
+
+  auto known_rule = [](const std::string& id) {
+    return std::any_of(rule_table().begin(), rule_table().end(),
+                       [&](const RuleInfo& r) { return id == r.id; });
+  };
+
+  std::vector<Finding> kept;
+  std::map<const AllowDirective*, bool> used;
+  for (Finding& finding : raw) {
+    const AllowDirective* suppressor = nullptr;
+    for (const FileFacts& file : index.files) {
+      if (file.path != finding.path) continue;
+      for (const AllowDirective& allow : file.allows) {
+        if (allow.rule_id != finding.rule_id || allow.reason.empty()) continue;
+        if (allow.line == finding.line || (allow.alone_on_line && allow.line + 1 == finding.line))
+          suppressor = &allow;
+      }
+    }
+    if (suppressor != nullptr)
+      used[suppressor] = true;
+    else
+      kept.push_back(std::move(finding));
+  }
+  // Malformed or stale directives are findings themselves: the acceptance bar
+  // is zero escapes without an inline reason, and zero escapes excusing code
+  // that no longer trips the rule.
+  for (const FileFacts& file : index.files) {
+    for (const AllowDirective& allow : file.allows) {
+      if (allow.reason.empty()) {
+        kept.push_back({"DL000", file.path, allow.line,
+                        "draglint:allow(" + allow.rule_id + ") has no reason — escape hatches "
+                        "must say why, e.g. // draglint:allow(" + allow.rule_id +
+                            " bit-replay check)"});
+      } else if (!known_rule(allow.rule_id)) {
+        kept.push_back(
+            {"DL000", file.path, allow.line,
+             "draglint:allow names unknown rule '" + allow.rule_id + "'"});
+      } else if (used.count(&allow) == 0U) {
+        kept.push_back({"DL000", file.path, allow.line,
+                        "stale draglint:allow(" + allow.rule_id + "): it suppresses nothing — "
+                        "the finding it excused is gone, so delete the directive (or move it "
+                        "back onto the offending line)"});
+      }
+    }
+  }
+  // The DL000 appends land out of order; the report is sorted as a whole.
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+    return a.message < b.message;
+  });
+  return kept;
+}
+
+}  // namespace draglint

@@ -1,0 +1,53 @@
+// Pass 2 of the project-aware analyzer: cross-TU rules over the ProjectIndex.
+//
+//   DL005  snapshot key parity — now cross-TU: save/load bodies for one class
+//          may live in different files; their key sets are merged per owner
+//   DL007  layer boundary — every cross-subsystem #include in src/ must be an
+//          edge of the DAG declared in tools/draglint/layers.txt
+//   DL008  substream key collision — two counter-based substream derivations
+//          with an identical literal label tuple are the same stream: chaos /
+//          transport / actuation noise that should be independent becomes
+//          correlated, which invalidates same-seed controller comparisons
+//   DL009  snapshot completeness — every non-static data member of a
+//          Snapshotable class must be referenced by its save_state() body or
+//          carry a reasoned draglint:allow(DL009 ...) on its declaration
+//
+// finalize_findings() then applies the escape hatches once, globally, and
+// emits DL000 for reasonless, unknown-rule and *stale* allows (directives
+// that no longer suppress anything).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "rules.hpp"
+
+namespace draglint {
+
+/// The allowed subsystem dependency DAG, parsed from layers.txt.
+struct LayerGraph {
+  /// subsystem -> complete set of subsystems it may include from.
+  std::map<std::string, std::set<std::string>> deps;
+  /// header path suffix -> subsystem it is pinned to for accounting.
+  std::map<std::string, std::string> pins;
+
+  /// Parses the declaration text.  Returns false (with a message in *error)
+  /// on syntax errors, deps on undeclared subsystems, or a cyclic DAG.
+  static bool parse(const std::string& text, LayerGraph* out, std::string* error);
+};
+
+/// Runs DL005/DL007/DL008/DL009 over the assembled index.  `layers` may be
+/// null (no layers.txt found), which skips DL007.
+[[nodiscard]] std::vector<Finding> run_project_rules(const ProjectIndex& index,
+                                                     const LayerGraph* layers);
+
+/// Sorts and dedupes raw findings, applies every allow directive exactly
+/// once, and appends DL000 findings: reasonless allows, unknown-rule allows,
+/// and stale allows (reasoned directives that suppressed nothing this scan).
+[[nodiscard]] std::vector<Finding> finalize_findings(const ProjectIndex& index,
+                                                     std::vector<Finding> raw);
+
+}  // namespace draglint

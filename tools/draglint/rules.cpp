@@ -1,34 +1,14 @@
 #include "rules.hpp"
 
 #include <algorithm>
-#include <map>
 #include <set>
+
+#include "token_util.hpp"
 
 namespace draglint {
 namespace {
 
 using Tokens = std::vector<Token>;
-
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == TokenKind::kIdentifier && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == TokenKind::kPunct && t.text == text;
-}
-
-/// Index-safe accessors: out-of-range reads yield a sentinel punct token so
-/// rule code can look at neighbors without bounds checks everywhere.
-const Token& at(const Tokens& tokens, std::size_t i) {
-  static const Token sentinel{TokenKind::kPunct, "", 0, false};
-  return i < tokens.size() ? tokens[i] : sentinel;
-}
-
-std::string unquote(const std::string& literal) {
-  const std::size_t open = literal.find('"');
-  const std::size_t close = literal.rfind('"');
-  if (open == std::string::npos || close <= open) return literal;
-  return literal.substr(open + 1, close - open - 1);
-}
 
 // ---------------------------------------------------------------------------
 // DL001 — ambient entropy
@@ -101,26 +81,6 @@ const std::set<std::string>& unordered_type_names() {
                                               "unordered_multimap", "unordered_multiset",
                                               "flat_hash_map", "flat_hash_set"};
   return names;
-}
-
-/// Skips a balanced template-argument list starting at `<`; returns the index
-/// one past the matching `>`.  `>>` closes two levels (the lexer emits it as
-/// one token).
-std::size_t skip_template_args(const Tokens& t, std::size_t i) {
-  if (!is_punct(at(t, i), "<")) return i;
-  int depth = 0;
-  for (; i < t.size(); ++i) {
-    if (is_punct(t[i], "<")) ++depth;
-    if (is_punct(t[i], ">")) {
-      if (--depth == 0) return i + 1;
-    }
-    if (is_punct(t[i], ">>")) {
-      depth -= 2;
-      if (depth <= 0) return i + 1;
-    }
-    if (is_punct(t[i], ";")) return i;  // malformed; bail
-  }
-  return i;
 }
 
 /// Variable names declared with an unordered container type (directly or via
@@ -291,121 +251,6 @@ void rule_float_eq(const LexedFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
-// DL005 — snapshot field parity
-// ---------------------------------------------------------------------------
-
-struct KeyUse {
-  std::set<std::string> keys;
-  bool dynamic = false;  ///< saw a non-literal key; parity cannot be decided
-  int line = 0;          ///< definition line, for reporting
-  bool present = false;
-};
-
-/// Collects literal snapshot keys used inside a function body [open, close].
-void collect_keys(const Tokens& t, std::size_t open, std::size_t close, bool saving, KeyUse* use) {
-  static const std::set<std::string> readers = {"get_double", "get_int",    "get_uint",
-                                                "get_string", "get_doubles", "get_ints",
-                                                "has_key"};
-  for (std::size_t i = open; i < close; ++i) {
-    if (t[i].kind != TokenKind::kIdentifier) continue;
-    const bool hit = saving ? t[i].text == "field" : readers.count(t[i].text) != 0U;
-    if (!hit || !is_punct(at(t, i + 1), "(")) continue;
-    const Token& arg = at(t, i + 2);
-    if (arg.kind == TokenKind::kString) {
-      use->keys.insert(unquote(arg.text));
-    } else {
-      use->dynamic = true;
-    }
-  }
-}
-
-void rule_snapshot_parity(const LexedFile& file, std::vector<Finding>* out) {
-  const Tokens& t = file.tokens;
-  // Track the innermost class/struct name so inline definitions attribute to
-  // their owner; out-of-line definitions use the `Owner::` qualifier.
-  std::vector<std::pair<std::string, int>> class_stack;  // (name, depth at body)
-  int depth = 0;
-  std::map<std::string, KeyUse> saves;
-  std::map<std::string, KeyUse> loads;
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    if (is_punct(t[i], "{")) ++depth;
-    if (is_punct(t[i], "}")) {
-      --depth;
-      while (!class_stack.empty() && class_stack.back().second > depth) class_stack.pop_back();
-    }
-    if ((is_ident(t[i], "class") || is_ident(t[i], "struct")) && !is_ident(at(t, i - 1), "enum") &&
-        at(t, i + 1).kind == TokenKind::kIdentifier) {
-      // Find whether this declaration has a body before the next `;`.
-      for (std::size_t j = i + 2; j < t.size(); ++j) {
-        if (is_punct(t[j], ";")) break;
-        if (is_punct(t[j], "{")) {
-          class_stack.emplace_back(at(t, i + 1).text, depth + 1);
-          break;
-        }
-      }
-    }
-    const bool save = is_ident(t[i], "save_state");
-    const bool load = is_ident(t[i], "load_state");
-    if ((!save && !load) || !is_punct(at(t, i + 1), "(")) continue;
-    // Owner: `X::save_state` beats the enclosing class.
-    std::string owner;
-    if (is_punct(at(t, i - 1), "::") && at(t, i - 2).kind == TokenKind::kIdentifier)
-      owner = at(t, i - 2).text;
-    else if (!class_stack.empty())
-      owner = class_stack.back().first;
-    else
-      owner = "<file>";
-    // Find the body: skip the parameter list, then expect `{` (possibly after
-    // const/override/final/noexcept).  A `;` first means declaration only.
-    std::size_t j = i + 1;
-    int paren = 0;
-    for (; j < t.size(); ++j) {
-      if (is_punct(t[j], "(")) ++paren;
-      if (is_punct(t[j], ")") && --paren == 0) break;
-    }
-    std::size_t open = 0;
-    for (++j; j < t.size(); ++j) {
-      if (is_punct(t[j], ";")) break;
-      if (is_punct(t[j], "{")) {
-        open = j;
-        break;
-      }
-    }
-    if (open == 0) continue;
-    int body = 0;
-    std::size_t close = open;
-    for (; close < t.size(); ++close) {
-      if (is_punct(t[close], "{")) ++body;
-      if (is_punct(t[close], "}") && --body == 0) break;
-    }
-    KeyUse& use = save ? saves[owner] : loads[owner];
-    use.present = true;
-    use.line = t[i].line;
-    collect_keys(t, open, close, save, &use);
-  }
-
-  for (const auto& [owner, save] : saves) {
-    const auto it = loads.find(owner);
-    if (it == loads.end() || !it->second.present || !save.present) continue;
-    const KeyUse& load = it->second;
-    if (save.dynamic || load.dynamic) continue;  // undecidable statically
-    for (const std::string& key : save.keys) {
-      if (load.keys.count(key) == 0U)
-        out->push_back({"DL005", file.path, save.line,
-                        "snapshot parity: key '" + key + "' written in " + owner +
-                            "::save_state but never read in load_state"});
-    }
-    for (const std::string& key : load.keys) {
-      if (save.keys.count(key) == 0U)
-        out->push_back({"DL005", file.path, load.line,
-                        "snapshot parity: key '" + key + "' read in " + owner +
-                            "::load_state but never written in save_state"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
 // DL006 — raw threading primitives outside src/parallel
 // ---------------------------------------------------------------------------
 
@@ -462,44 +307,13 @@ void rule_threading(const LexedFile& file, std::vector<Finding>* out) {
   }
 }
 
-// ---------------------------------------------------------------------------
-// Allow directives
-// ---------------------------------------------------------------------------
-
-bool known_rule(const std::string& id) {
-  return std::any_of(rule_table().begin(), rule_table().end(),
-                     [&](const RuleInfo& r) { return id == r.id; });
-}
-
-std::vector<Finding> apply_allows(const LexedFile& file, std::vector<Finding> findings) {
-  std::vector<Finding> kept;
-  for (Finding& f : findings) {
-    const bool suppressed =
-        std::any_of(file.allows.begin(), file.allows.end(), [&](const AllowDirective& a) {
-          if (a.rule_id != f.rule_id || a.reason.empty()) return false;
-          return a.line == f.line || (a.alone_on_line && a.line + 1 == f.line);
-        });
-    if (!suppressed) kept.push_back(std::move(f));
-  }
-  // Malformed directives are findings themselves: the acceptance bar is zero
-  // escapes without an inline reason.
-  for (const AllowDirective& a : file.allows) {
-    if (a.reason.empty())
-      kept.push_back({"DL000", file.path, a.line,
-                      "draglint:allow(" + a.rule_id + ") has no reason — escape hatches must "
-                      "say why, e.g. // draglint:allow(" + a.rule_id + " bit-replay check)"});
-    else if (!known_rule(a.rule_id))
-      kept.push_back({"DL000", file.path, a.line,
-                      "draglint:allow names unknown rule '" + a.rule_id + "'"});
-  }
-  return kept;
-}
-
 }  // namespace
 
 const std::vector<RuleInfo>& rule_table() {
   static const std::vector<RuleInfo> table = {
-      {"DL000", "allow-hygiene", "every draglint:allow() names a known rule and gives a reason"},
+      {"DL000", "allow-hygiene",
+       "every draglint:allow() names a known rule, gives a reason, and still suppresses "
+       "something — stale directives are findings too"},
       {"DL001", "no-ambient-entropy",
        "no wall clocks or process RNG in src/ — randomness comes from seeded common::Rng "
        "substreams, timestamps are slot indices"},
@@ -510,22 +324,31 @@ const std::vector<RuleInfo>& rule_table() {
       {"DL004", "no-float-equality",
        "no floating-point == / != in src/ outside allowlisted bit-replay checks"},
       {"DL005", "snapshot-parity",
-       "every key written by save_state() is read by load_state(), and vice versa"},
+       "every key written by save_state() is read by load_state(), and vice versa — matched "
+       "cross-TU, so split save/load definitions are still checked"},
       {"DL006", "taskpool-only-parallelism",
        "no raw std::thread/std::async/std::mutex outside src/parallel, and no unordered "
        "accumulation inside a for_each work item — parallelism goes through "
        "parallel::TaskPool's index-ordered reduction"},
+      {"DL007", "layer-boundary",
+       "every cross-subsystem #include in src/ is an edge of the dependency DAG declared in "
+       "tools/draglint/layers.txt — upward and cyclic includes are findings"},
+      {"DL008", "substream-key-collision",
+       "no two common::Rng substream derivations share an identical literal label tuple — "
+       "identical tuples alias the same stream and correlate draws that must be independent"},
+      {"DL009", "snapshot-completeness",
+       "every non-static data member of a Snapshotable class is referenced by save_state() "
+       "or carries a reasoned draglint:allow(DL009 ...) saying why it is rebuilt, not saved"},
   };
   return table;
 }
 
-std::vector<Finding> scan_file(const LexedFile& file, bool library_scope) {
+std::vector<Finding> run_file_rules(const LexedFile& file, bool library_scope) {
   std::vector<Finding> findings;
   if (library_scope) {
     rule_entropy(file, &findings);
     rule_throw(file, &findings);
     rule_float_eq(file, &findings);
-    rule_snapshot_parity(file, &findings);
     rule_threading(file, &findings);
   }
   rule_unordered(file, &findings);
@@ -542,7 +365,7 @@ std::vector<Finding> scan_file(const LexedFile& file, bool library_scope) {
                                       a.message == b.message;
                              }),
                  findings.end());
-  return apply_allows(file, std::move(findings));
+  return findings;
 }
 
 }  // namespace draglint

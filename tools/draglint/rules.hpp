@@ -1,22 +1,31 @@
 // The determinism-contract rules draglint enforces.
 //
-// Each rule has a stable machine-readable ID (used in CI output, in the
-// `// draglint:allow(ID reason)` escape hatch, and in DESIGN.md §12):
+// Each rule has a stable machine-readable ID (used in CI output, in SARIF,
+// in the `// draglint:allow(ID reason)` escape hatch, and in DESIGN.md §12):
 //
-//   DL000  meta: an allow directive with no reason, or naming no known rule
+//   DL000  meta: an allow directive with no reason, naming no known rule, or
+//          stale (suppressing nothing)
 //   DL001  ambient entropy: wall clocks / process RNG in library code
 //   DL002  unordered-container iteration in a deterministic-output file
 //   DL003  throw of anything other than dragster::Error in library code
 //   DL004  floating-point == / != in library code
-//   DL005  snapshot field parity between save_state() and load_state()
+//   DL005  snapshot key parity between save_state() and load_state()
 //   DL006  raw threading primitives outside src/parallel, or unordered
 //          accumulation inside a for_each work item
+//   DL007  layer boundary: cross-subsystem #include not declared in
+//          tools/draglint/layers.txt
+//   DL008  substream key collision: two derivations with an identical
+//          literal label tuple
+//   DL009  snapshot completeness: a Snapshotable field never referenced by
+//          save_state()
 //
-// DL001/DL003/DL004/DL005/DL006 are library-scoped: they fire for files
-// under src/ (or everywhere under --assume-src, which the corpus tests use);
-// DL006 additionally exempts src/parallel itself, the layer that owns the
-// primitives.  DL002 fires everywhere — bench/example binaries write traces
-// too.
+// DL001/DL003/DL004/DL006 run per file over the token stream (this header);
+// DL002 fires everywhere — bench/example binaries write traces too.
+// DL005/DL007/DL008/DL009 are cross-TU and run in pass 2 over the project
+// index (project_rules.hpp).  Library-scoped rules fire for files under src/
+// (or everywhere under --assume-src, which the corpus tests use); DL006
+// additionally exempts src/parallel itself, the layer that owns the
+// primitives.
 #pragma once
 
 #include <string>
@@ -39,11 +48,12 @@ struct RuleInfo {
   const char* summary;
 };
 
-/// The rule table, in ID order (for --rules and the docs).
+/// The rule table, in ID order (for --rules, SARIF rule metadata, the docs).
 [[nodiscard]] const std::vector<RuleInfo>& rule_table();
 
-/// Runs every applicable rule over one lexed file and applies the allow
-/// directives.  `library_scope` enables the src/-only rules.
-[[nodiscard]] std::vector<Finding> scan_file(const LexedFile& file, bool library_scope);
+/// Runs the per-file rules over one lexed file and returns *raw* findings —
+/// allow directives are applied once, globally, by finalize_findings() after
+/// the cross-TU pass.  `library_scope` enables the src/-only rules.
+[[nodiscard]] std::vector<Finding> run_file_rules(const LexedFile& file, bool library_scope);
 
 }  // namespace draglint

@@ -1,0 +1,96 @@
+#include "sarif.hpp"
+
+#include <cstdio>
+
+namespace draglint {
+namespace {
+
+/// JSON string escaping per RFC 8259: the two mandatory escapes plus control
+/// characters.  Draglint messages are ASCII by construction except for the
+/// em-dashes, which pass through as UTF-8 bytes (valid JSON).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Repository-relative URI: strip the scan root prefix and any leading "./".
+std::string relative_uri(const std::string& path, const std::string& root) {
+  std::string p = path;
+  if (!root.empty()) {
+    std::string prefix = root;
+    if (prefix.back() != '/') prefix += '/';
+    if (p.rfind(prefix, 0) == 0) p = p.substr(prefix.size());
+  }
+  while (p.rfind("./", 0) == 0) p = p.substr(2);
+  return p;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings, const std::string& root) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+      "sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"draglint\",\n"
+      "          \"informationUri\": \"DESIGN.md\",\n"
+      "          \"rules\": [\n";
+  const std::vector<RuleInfo>& table = rule_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    out += "            {\"id\": \"";
+    out += table[i].id;
+    out += "\", \"name\": \"";
+    out += json_escape(table[i].name);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += json_escape(table[i].summary);
+    out += "\"}}";
+    out += i + 1 < table.size() ? ",\n" : "\n";
+  }
+  out +=
+      "          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"" + json_escape(f.rule_id) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" + json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"" +
+           json_escape(relative_uri(f.path, root)) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) + "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace draglint

@@ -1,0 +1,17 @@
+// SARIF 2.1.0 output so CI can surface findings as code-scanning annotations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace draglint {
+
+/// Renders findings as a single-run SARIF 2.1.0 log.  `root` is stripped from
+/// paths to produce repository-relative artifact URIs.  Findings must already
+/// be in final (sorted, allow-applied) order; results are emitted in the same
+/// order as the plain-text output so the two reports line up.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings, const std::string& root);
+
+}  // namespace draglint

@@ -1,0 +1,55 @@
+// Small token-stream helpers shared by the per-file rules (rules.cpp) and
+// the pass-1 indexer (index.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace draglint {
+
+inline bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+inline bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Index-safe accessor: out-of-range reads yield a sentinel punct token so
+/// walking code can look at neighbors without bounds checks everywhere.
+inline const Token& at(const std::vector<Token>& tokens, std::size_t i) {
+  static const Token sentinel{TokenKind::kPunct, "", 0, false};
+  return i < tokens.size() ? tokens[i] : sentinel;
+}
+
+/// Strips the quotes (and any encoding prefix) off a string-literal token.
+inline std::string unquote(const std::string& literal) {
+  const std::size_t open = literal.find('"');
+  const std::size_t close = literal.rfind('"');
+  if (open == std::string::npos || close <= open) return literal;
+  return literal.substr(open + 1, close - open - 1);
+}
+
+/// Skips a balanced template-argument list starting at `<`; returns the index
+/// one past the matching `>`.  `>>` closes two levels (the lexer emits it as
+/// one token).
+inline std::size_t skip_template_args(const std::vector<Token>& t, std::size_t i) {
+  if (!is_punct(at(t, i), "<")) return i;
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    if (is_punct(t[i], ">")) {
+      if (--depth == 0) return i + 1;
+    }
+    if (is_punct(t[i], ">>")) {
+      depth -= 2;
+      if (depth <= 0) return i + 1;
+    }
+    if (is_punct(t[i], ";")) return i;  // malformed; bail
+  }
+  return i;
+}
+
+}  // namespace draglint
